@@ -1,0 +1,52 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `seed_from_path` — predicate seeding from branch conditions (on/off):
+//!   measures CEGAR cycles to convergence with and without the heuristic.
+//! * `max_context_atoms` — the Ball-et-al. bound on predicates considered
+//!   per abstract transition (the paper's §6 optimization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use homc::{verify, VerifierOptions};
+use homc_abs::AbsOptions;
+use homc_cegar::RefineOptions;
+
+const SUM: &str = "let rec sum n = if n <= 0 then 0 else n + sum (n - 1) in
+                   assert (m <= sum m)";
+const RLOCK: &str = "let lock st = assert (st = 0); 1 in
+                     let unlock st = assert (st = 1); 0 in
+                     let rec loop n st = if n <= 0 then st else loop (n - 1) (unlock (lock st)) in
+                     assert (loop n 0 = 0)";
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (prog_name, src) in [("sum", SUM), ("r-lock", RLOCK)] {
+        for seed in [true, false] {
+            let opts = VerifierOptions {
+                refine: RefineOptions {
+                    seed_from_path: seed,
+                    ..RefineOptions::default()
+                },
+                ..VerifierOptions::default()
+            };
+            group.bench_function(format!("{prog_name}/seed={seed}"), |b| {
+                b.iter(|| std::hint::black_box(verify(src, &opts).expect("runs").verdict))
+            });
+        }
+        for atoms in [3usize, 7, 12] {
+            let opts = VerifierOptions {
+                abs: AbsOptions {
+                    max_context_atoms: atoms,
+                },
+                ..VerifierOptions::default()
+            };
+            group.bench_function(format!("{prog_name}/ctx_atoms={atoms}"), |b| {
+                b.iter(|| std::hint::black_box(verify(src, &opts).expect("runs").verdict))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench over the paper's Table 1 suite: one benchmark per
+//! program, measuring the full verification pipeline (front end + CEGAR
+//! loop). This regenerates the paper's only evaluation table with stable
+//! statistics; the `table1` binary prints the same data in the paper's
+//! layout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use homc::{suite::SUITE, verify, VerifierOptions};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for p in SUITE {
+        // Keep the bench wall-clock sane: skip the two slowest programs in
+        // the timed loop (they are covered by the `table1` binary run).
+        if matches!(p.name, "a-prod" | "r-file") {
+            continue;
+        }
+        group.bench_function(p.name, |b| {
+            b.iter(|| {
+                let out = verify(p.source, &VerifierOptions::default()).expect("runs");
+                std::hint::black_box(out.verdict)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

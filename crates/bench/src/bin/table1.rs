@@ -1,0 +1,32 @@
+//! Regenerates the paper's Table 1.
+//!
+//! ```sh
+//! cargo run --release -p homc-bench --bin table1
+//! ```
+
+use homc::suite::SUITE;
+use homc_bench::{format_row, run_program};
+
+fn main() {
+    println!(
+        "{:12} {:>4} {:>2} {:>8}  {:>6} {:>6} {:>6} {:>6}   verdict",
+        "program", "S", "O", "C(paper)", "abst", "mc", "cegar", "total"
+    );
+    println!("{}", "-".repeat(86));
+    let mut all_ok = true;
+    for p in SUITE {
+        let row = run_program(p);
+        all_ok &= row.verdict_ok;
+        println!("{}", format_row(&row));
+    }
+    println!("{}", "-".repeat(86));
+    println!(
+        "verdicts: {}",
+        if all_ok {
+            "all match the paper"
+        } else {
+            "MISMATCHES PRESENT"
+        }
+    );
+    std::process::exit(if all_ok { 0 } else { 1 });
+}

@@ -1,0 +1,88 @@
+//! `homc-bench`: the harness that regenerates the paper's Table 1.
+//!
+//! The binary `table1` prints, for each of the 28 benchmark programs, the
+//! same columns the paper reports — S (source words), O (order), C (CEGAR
+//! cycles), and the per-phase times `abst` / `mc` / `cegar` / `total` — side
+//! by side with the paper's published values, plus a verdict check. The
+//! Criterion benches (`benches/`) measure the same pipeline for stable
+//! statistics, and `benches/ablation.rs` quantifies the design choices
+//! called out in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use homc::{suite::SuiteProgram, verify, Expected, Verdict, VerifierOptions, VerifyOutcome};
+
+/// One row of the regenerated Table 1.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Program name.
+    pub name: &'static str,
+    /// The verification outcome.
+    pub outcome: VerifyOutcome,
+    /// Whether the verdict matches the paper's.
+    pub verdict_ok: bool,
+    /// The paper's cycle count for comparison.
+    pub paper_cycles: usize,
+}
+
+/// Runs one suite program and checks its verdict against the paper's.
+pub fn run_program(p: &SuiteProgram) -> Row {
+    let outcome = verify(p.source, &VerifierOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    let verdict_ok = match p.expected {
+        Expected::Safe => outcome.verdict.is_safe(),
+        Expected::Unsafe => outcome.verdict.is_unsafe(),
+        Expected::Diverges => !outcome.verdict.is_unsafe(),
+    };
+    Row {
+        name: p.name,
+        outcome,
+        verdict_ok,
+        paper_cycles: p.paper_cycles,
+    }
+}
+
+/// Formats a row in the paper's column layout.
+pub fn format_row(r: &Row) -> String {
+    let v = match &r.outcome.verdict {
+        Verdict::Safe => "safe",
+        Verdict::Unsafe { .. } => "unsafe",
+        Verdict::Unknown { .. } => "-",
+    };
+    let paper_c = if r.paper_cycles == usize::MAX {
+        "-".to_string()
+    } else {
+        r.paper_cycles.to_string()
+    };
+    format!(
+        "{:12} {:4} {:2} {:>4} ({:>2})  {:6.2} {:6.2} {:6.2} {:6.2}   {}{}",
+        r.name,
+        r.outcome.size,
+        r.outcome.order,
+        r.outcome.stats.cycles,
+        paper_c,
+        r.outcome.stats.abst.as_secs_f64(),
+        r.outcome.stats.mc.as_secs_f64(),
+        r.outcome.stats.cegar.as_secs_f64(),
+        r.outcome.stats.total.as_secs_f64(),
+        v,
+        if r.verdict_ok { "" } else { "  ** MISMATCH **" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homc::suite;
+
+    #[test]
+    fn harness_reproduces_a_known_row() {
+        let p = suite::find("intro1").expect("present");
+        let row = run_program(p);
+        assert!(row.verdict_ok);
+        assert!(row.outcome.verdict.is_safe());
+        let line = format_row(&row);
+        assert!(line.contains("intro1") && line.contains("safe"));
+    }
+}

@@ -1,0 +1,605 @@
+//! Feasibility checking and predicate discovery (the paper's §5.1–5.2).
+//!
+//! Given the straightline trace `SHP(D, σ)` of an abstract error path:
+//!
+//! 1. **Feasibility** (§5.1): the path condition is satisfiable iff the
+//!    source program really fails along σ — a genuine counterexample, with
+//!    the unknown-integer witness extracted from the model.
+//! 2. **Predicate discovery** (§5.2.2): when infeasible, each cut point
+//!    (integer parameter binding / `rand_int` site) gets a predicate by
+//!    Craig interpolation. The cuts are solved in execution (= topological)
+//!    order; the A-side of cut `k` is, when possible, built from the
+//!    *already-solved* predicates of earlier cuts plus the conditions since
+//!    the previous cut — which makes the solution chain inductive, the
+//!    property behind the paper's progress theorem (Thm 5.3). When the
+//!    inductive A-side fails (information was deliberately dropped at an
+//!    earlier `true` solution) we fall back to the raw prefix, which is
+//!    always refutable.
+//! 3. **Refinement** (§5.2.3): solved predicates are rewritten from trace
+//!    symbols to the source functions' parameter names and merged (`⊔`) into
+//!    the abstraction-type environment.
+//!
+//! In addition — mirroring the heuristics the paper's §6 alludes to — the
+//! refiner can *seed* cut points with atomic predicates harvested from the
+//! branch conditions along the path ([`RefineOptions::seed_from_path`]);
+//! the ablation bench measures its effect.
+
+use std::collections::BTreeMap;
+
+use homc_abs::{AbsEnv, AbsTy, Predicate};
+use homc_lang::kernel::{FunName, Program};
+use homc_smt::{interpolate, Formula, SatResult, SmtSolver, Var};
+
+use crate::shp::{Event, Trace};
+use homc_smt::LinExpr;
+
+/// Options for the refiner.
+#[derive(Clone, Copy, Debug)]
+pub struct RefineOptions {
+    /// Also harvest atomic predicates from path conditions (on by default;
+    /// disable for the ablation study).
+    pub seed_from_path: bool,
+    /// §5.3's relative-completeness device: additionally inject the
+    /// `iteration`-th predicate of a fixed enumeration at every cut point.
+    /// Off by default (the paper calls it impractical); exists so the
+    /// theoretical guarantee is testable.
+    pub enumerate_gen_p: bool,
+    /// The CEGAR iteration counter used by `enumerate_gen_p`.
+    pub iteration: usize,
+}
+
+impl Default for RefineOptions {
+    fn default() -> RefineOptions {
+        RefineOptions {
+            seed_from_path: true,
+            enumerate_gen_p: false,
+            iteration: 0,
+        }
+    }
+}
+
+/// The §5.1 verdict on an error path.
+#[derive(Clone, Debug)]
+pub enum Feasibility {
+    /// The source program fails along the path; the witness assigns the
+    /// unknown integers of `main`.
+    Feasible(Vec<i64>),
+    /// The path is spurious.
+    Infeasible,
+    /// The solver could not decide (non-linear over-approximation or budget).
+    Unknown,
+}
+
+/// A refinement: per-function scheme updates plus per-`rand` site updates,
+/// ready for [`AbsEnv::refine`].
+#[derive(Clone, Debug, Default)]
+pub struct Refinement {
+    /// New predicates per function parameter.
+    pub fun_updates: BTreeMap<FunName, Vec<(Var, AbsTy)>>,
+    /// New predicates per `rand_int` site.
+    pub rand_updates: BTreeMap<Var, Vec<Predicate>>,
+    /// New predicates for argument positions *inside* higher-order parameter
+    /// types (the paper's dependent SHP types, e.g. `ν > x` on the `y`
+    /// position of `f : x:int → (y:int[…] → ⋆) → ⋆`).
+    pub ho_updates: Vec<HoUpdate>,
+    /// Number of predicates discovered by interpolation.
+    pub interpolated: usize,
+    /// Number of predicates seeded from path conditions.
+    pub seeded: usize,
+}
+
+/// A predicate for an argument position of a function-typed parameter.
+///
+/// Dependencies in the predicate body are either enclosing-scheme parameter
+/// names (visible per Figure 3) or placeholders `@chain{q}` naming the
+/// `q`-th binder of the parameter's own arrow chain, resolved when the
+/// update is applied to a concrete [`AbsEnv`].
+#[derive(Clone, Debug)]
+pub struct HoUpdate {
+    /// The function whose scheme is updated.
+    pub def: FunName,
+    /// The function-typed parameter within that scheme.
+    pub param: Var,
+    /// Which argument position of the parameter's arrow chain.
+    pub chain_pos: usize,
+    /// The predicate to merge in.
+    pub pred: Predicate,
+}
+
+impl Refinement {
+    /// `true` when no new predicate was found (CEGAR cannot make progress).
+    pub fn is_empty(&self) -> bool {
+        self.interpolated + self.seeded == 0 && self.ho_updates.is_empty()
+    }
+}
+
+/// An error during refinement.
+#[derive(Clone, Debug)]
+pub struct RefineError(pub String);
+
+impl std::fmt::Display for RefineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "refinement error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RefineError {}
+
+/// Checks feasibility of the trace's path condition (§5.1).
+pub fn check_feasibility(trace: &Trace, solver: &SmtSolver) -> Feasibility {
+    match solver.check(&trace.path_condition()) {
+        SatResult::Sat(model) => {
+            if trace.exact {
+                Feasibility::Feasible(
+                    trace
+                        .unknowns
+                        .iter()
+                        .map(|s| model.int(s) as i64)
+                        .collect(),
+                )
+            } else {
+                // The path condition over-approximates; a model does not
+                // certify a real failure.
+                Feasibility::Unknown
+            }
+        }
+        SatResult::Unsat => Feasibility::Infeasible,
+        SatResult::Unknown => Feasibility::Unknown,
+    }
+}
+
+/// Discovers new predicates from an infeasible trace (§5.2.2–5.2.3).
+pub fn discover_predicates(
+    program: &Program,
+    trace: &Trace,
+    opts: &RefineOptions,
+) -> Result<Refinement, RefineError> {
+    let mut out = Refinement::default();
+    // sym → original-name maps and (sym, index) lists, per activation.
+    let mut orig_names: Vec<BTreeMap<Var, Var>> = vec![BTreeMap::new(); trace.activations.len()];
+    let mut act_params: Vec<Vec<(Var, usize)>> = vec![Vec::new(); trace.activations.len()];
+    // Canonical linear form of every symbol over the trace's root symbols
+    // (main's unknowns and rand sites), used to rewrite dependencies that
+    // are invisible at a higher-order position into visible ones.
+    let mut canon: BTreeMap<Var, LinExpr> = BTreeMap::new();
+    let canon_of = |canon: &BTreeMap<Var, LinExpr>, e: &LinExpr| -> LinExpr {
+        let mut out = LinExpr::constant(e.constant_part());
+        for (v, c) in e.iter() {
+            match canon.get(v) {
+                Some(ce) => out = out + ce.clone() * c,
+                None => out = out + LinExpr::term(c, v.clone()),
+            }
+        }
+        out
+    };
+    for e in &trace.events {
+        match e {
+            Event::Bind {
+                activation,
+                index,
+                param,
+                sym,
+                def_eq,
+                ..
+            } => {
+                orig_names[*activation].insert(sym.clone(), param.clone());
+                act_params[*activation].push((sym.clone(), *index));
+                // def_eq is `sym - expr = 0`; recover expr = sym - lhs/coeff.
+                let entry = match def_eq {
+                    None => LinExpr::var(sym.clone()),
+                    Some(Formula::Atom(a)) => {
+                        // lhs = sym - expr (normalized); expr = sym - lhs
+                        // modulo the atom's gcd normalization, so recompute
+                        // from the stored equality: sym appears with some
+                        // coefficient c; expr = -(lhs - c·sym)/c.
+                        let lhs = a.lhs();
+                        let c = lhs.coeff(sym);
+                        if c == 1 || c == -1 {
+                            let rest = lhs.clone() - LinExpr::term(c, sym.clone());
+                            let expr = -(rest) * c;
+                            canon_of(&canon, &expr)
+                        } else {
+                            LinExpr::var(sym.clone())
+                        }
+                    }
+                    Some(_) => LinExpr::var(sym.clone()),
+                };
+                canon.insert(sym.clone(), entry);
+            }
+            Event::Rand { activation, sym, .. } => {
+                let _ = activation;
+                canon.insert(sym.clone(), LinExpr::var(sym.clone()));
+            }
+            Event::Cond(_) => {}
+        }
+    }
+
+    // Cut positions in order.
+    let cuts: Vec<usize> = trace
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, Event::Bind { .. } | Event::Rand { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let mut solved: Vec<Formula> = Vec::new();
+
+    for (ci, &i) in cuts.iter().enumerate() {
+        let (sym, _deps, def_eq) = match &trace.events[i] {
+            Event::Bind {
+                sym, deps, def_eq, ..
+            } => (sym.clone(), deps.clone(), def_eq.clone()),
+            Event::Rand { sym, deps, .. } => (sym.clone(), deps.clone(), None),
+            Event::Cond(_) => unreachable!("cuts are binds"),
+        };
+        let suffix = Formula::and(trace.events[i + 1..].iter().map(Event::formula));
+        // Inductive A-side: earlier solutions + conditions since the
+        // previous cut + this cut's defining equality.
+        let since_prev = match ci {
+            0 => 0,
+            _ => cuts[ci - 1] + 1,
+        };
+        let inductive_a = Formula::and(
+            solved
+                .iter()
+                .cloned()
+                .chain(trace.events[since_prev..i].iter().map(Event::formula))
+                .chain(def_eq.clone()),
+        );
+        let raw_a = Formula::and(trace.events[..=i].iter().map(Event::formula));
+
+        // Any interpolant will do as a knowledge carrier: scoping to each
+        // target's template happens in `record_predicate`, per target (the
+        // definition's own scheme and each higher-order position have
+        // different visibility).
+        let mut solution = Formula::True;
+        for a in [inductive_a, raw_a.clone()] {
+            if let Ok(interp) = interpolate(&a, &suffix) {
+                solution = interp;
+                break;
+            }
+        }
+        if !matches!(solution, Formula::True) {
+            record_predicate(
+                &trace.events[i],
+                &solution,
+                &sym,
+                &orig_names,
+                &act_params,
+                &canon,
+                program,
+                trace,
+                &mut out,
+                true,
+            )?;
+        }
+        solved.push(solution);
+    }
+
+    if opts.seed_from_path {
+        seed_from_conditions(program, trace, &cuts, &orig_names, &act_params, &canon, &mut out)?;
+    }
+    if opts.enumerate_gen_p {
+        // §5.3: inject genP(iteration) at every cut, renamed to the cut's ν.
+        for &i in &cuts {
+            let (sym, deps) = match &trace.events[i] {
+                Event::Bind { sym, deps, .. } | Event::Rand { sym, deps, .. } => (sym, deps),
+                Event::Cond(_) => unreachable!(),
+            };
+            let p = crate::enumerate::gen_p(opts.iteration, deps);
+            let body = p.body().rename(&mut |v| {
+                if v == p.nu() {
+                    sym.clone()
+                } else {
+                    v.clone()
+                }
+            });
+            let solution = body;
+            record_predicate(
+                &trace.events[i],
+                &solution,
+                sym,
+                &orig_names,
+                &act_params,
+                &canon,
+                program,
+                trace,
+                &mut out,
+                false,
+            )?;
+        }
+    }
+    Ok(out)
+}
+
+/// `true` iff the formula only mentions the cut's own symbol and its
+/// allowed dependencies.
+fn scoped(f: &Formula, sym: &Var, deps: &[Var]) -> bool {
+    f.vars().iter().all(|v| v == sym || deps.contains(v))
+}
+
+/// Rewrites a solved formula over trace symbols into a [`Predicate`] over
+/// the definition's parameter names and records it in the refinement —
+/// both on the definition's own scheme and, via the closure's origins, on
+/// every higher-order parameter position the closure flowed through.
+#[allow(clippy::too_many_arguments)]
+fn record_predicate(
+    event: &Event,
+    solution: &Formula,
+    sym: &Var,
+    orig_names: &[BTreeMap<Var, Var>],
+    act_params: &[Vec<(Var, usize)>],
+    canon: &BTreeMap<Var, LinExpr>,
+    program: &Program,
+    trace: &Trace,
+    out: &mut Refinement,
+    interpolated: bool,
+) -> Result<(), RefineError> {
+    match event {
+        Event::Bind {
+            activation,
+            index,
+            param,
+            ..
+        } => {
+            let fname = trace.activations[*activation].def.clone();
+            let def = program
+                .def(&fname)
+                .ok_or_else(|| RefineError(format!("unknown function {fname}")))?;
+            // 1. The definition's own scheme. Dependencies must be this
+            // activation's parameters; out-of-scope symbols are rewritten
+            // to same-valued parameters when possible, otherwise the direct
+            // update is skipped (a higher-order position may still apply).
+            let names = &orig_names[*activation];
+            let mut direct_ok = true;
+            let body = solution.rename(&mut |v| {
+                if v == sym {
+                    return sym.clone();
+                }
+                if let Some(o) = names.get(v) {
+                    return o.clone();
+                }
+                let cv = canon
+                    .get(v)
+                    .cloned()
+                    .unwrap_or_else(|| LinExpr::var(v.clone()));
+                for (osym, _) in &act_params[*activation] {
+                    if osym == sym {
+                        continue;
+                    }
+                    let oc = canon
+                        .get(osym)
+                        .cloned()
+                        .unwrap_or_else(|| LinExpr::var(osym.clone()));
+                    if oc == cv {
+                        if let Some(o) = names.get(osym) {
+                            return o.clone();
+                        }
+                    }
+                }
+                direct_ok = false;
+                v.clone()
+            });
+            let trivial = matches!(body, Formula::True | Formula::False);
+            if direct_ok && !trivial {
+                let pred = Predicate::new(sym.clone(), body);
+                let mut counter = 0;
+                let scheme: Vec<(Var, AbsTy)> = def
+                    .params
+                    .iter()
+                    .map(|(x, t)| {
+                        let ty = if x == param {
+                            AbsTy::int(vec![pred.clone()])
+                        } else {
+                            AbsTy::default_for(t, &mut counter)
+                        };
+                        (x.clone(), ty)
+                    })
+                    .collect();
+                merge_scheme(&mut out.fun_updates, fname, scheme);
+                if interpolated {
+                    out.interpolated += 1;
+                } else {
+                    out.seeded += 1;
+                }
+            }
+            // 2. Higher-order positions along the closure's flow.
+            for origin in &trace.activations[*activation].origins {
+                if *index < origin.applied_before {
+                    continue; // bound before the closure passed through here
+                }
+                let chain_pos = index - origin.applied_before;
+                let o_act = origin.activation;
+                let o_def = trace.activations[o_act].def.clone();
+                // Rewrite each dependency: same-activation parameters that
+                // are visible in the chain become placeholders; invisible
+                // ones are matched by canonical value against the origin
+                // activation's own parameters (Figure-3 scoping).
+                let mut ok = true;
+                let dep_indices: BTreeMap<Var, usize> =
+                    act_params[*activation].iter().cloned().collect();
+                let body = solution.rename(&mut |v| {
+                    if v == sym {
+                        return sym.clone();
+                    }
+                    if let Some(&di) = dep_indices.get(v) {
+                        if di >= origin.applied_before {
+                            return Var::new(format!("@chain{}", di - origin.applied_before));
+                        }
+                    }
+                    // Invisible: try to express it as one of the origin
+                    // activation's parameters with equal canonical value.
+                    let cv = canon.get(v).cloned().unwrap_or_else(|| LinExpr::var(v.clone()));
+                    for (osym, _) in &act_params[o_act] {
+                        let oc = canon
+                            .get(osym)
+                            .cloned()
+                            .unwrap_or_else(|| LinExpr::var(osym.clone()));
+                        if oc == cv {
+                            if let Some(oname) = orig_names[o_act].get(osym) {
+                                return oname.clone();
+                            }
+                        }
+                    }
+                    ok = false;
+                    v.clone()
+                });
+                if ok && !matches!(body, Formula::True | Formula::False) {
+                    out.ho_updates.push(HoUpdate {
+                        def: o_def,
+                        param: origin.param.clone(),
+                        chain_pos,
+                        pred: Predicate::new(sym.clone(), body),
+                    });
+                }
+            }
+        }
+        Event::Rand {
+            activation, orig, ..
+        } => {
+            let names = &orig_names[*activation];
+            let mut ok = true;
+            let body = solution.rename(&mut |v| {
+                if v == sym {
+                    return sym.clone();
+                }
+                if let Some(o) = names.get(v) {
+                    return o.clone();
+                }
+                let cv = canon
+                    .get(v)
+                    .cloned()
+                    .unwrap_or_else(|| LinExpr::var(v.clone()));
+                for (osym, _) in &act_params[*activation] {
+                    let oc = canon
+                        .get(osym)
+                        .cloned()
+                        .unwrap_or_else(|| LinExpr::var(osym.clone()));
+                    if oc == cv {
+                        if let Some(o) = names.get(osym) {
+                            return o.clone();
+                        }
+                    }
+                }
+                ok = false;
+                v.clone()
+            });
+            if ok && !matches!(body, Formula::True | Formula::False) {
+                let pred = Predicate::new(sym.clone(), body);
+                let entry = out.rand_updates.entry(orig.clone()).or_default();
+                if !entry.iter().any(|p| p.alpha_eq(&pred)) {
+                    entry.push(pred);
+                    if interpolated {
+                        out.interpolated += 1;
+                    } else {
+                        out.seeded += 1;
+                    }
+                }
+            }
+        }
+        Event::Cond(_) => unreachable!("cuts are binds"),
+    }
+    Ok(())
+}
+
+fn merge_scheme(
+    updates: &mut BTreeMap<FunName, Vec<(Var, AbsTy)>>,
+    f: FunName,
+    scheme: Vec<(Var, AbsTy)>,
+) {
+    match updates.get_mut(&f) {
+        None => {
+            updates.insert(f, scheme);
+        }
+        Some(old) => {
+            for ((_, t_old), (_, t_new)) in old.iter_mut().zip(&scheme) {
+                *t_old = t_old.merge(t_new);
+            }
+        }
+    }
+}
+
+/// The predicate-seeding heuristic: every atomic condition along the path
+/// that mentions a cut symbol (and otherwise only its dependencies) becomes
+/// a candidate predicate for that cut.
+#[allow(clippy::too_many_arguments)]
+fn seed_from_conditions(
+    program: &Program,
+    trace: &Trace,
+    cuts: &[usize],
+    orig_names: &[BTreeMap<Var, Var>],
+    act_params: &[Vec<(Var, usize)>],
+    canon: &BTreeMap<Var, LinExpr>,
+    out: &mut Refinement,
+) -> Result<(), RefineError> {
+    let mut atoms: Vec<Formula> = Vec::new();
+    for e in &trace.events {
+        if let Event::Cond(f) = e {
+            collect_atoms(f, &mut atoms);
+        }
+    }
+    for &i in cuts {
+        let (sym, deps) = match &trace.events[i] {
+            Event::Bind { sym, deps, .. } => (sym, deps),
+            Event::Rand { sym, deps, .. } => (sym, deps),
+            Event::Cond(_) => unreachable!(),
+        };
+        for a in &atoms {
+            let vars = a.vars();
+            if vars.contains(sym) && scoped(a, sym, deps) {
+                record_predicate(
+                    &trace.events[i],
+                    a,
+                    sym,
+                    orig_names,
+                    act_params,
+                    canon,
+                    program,
+                    trace,
+                    out,
+                    false,
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn collect_atoms(f: &Formula, out: &mut Vec<Formula>) {
+    match f {
+        Formula::True | Formula::False | Formula::BVar(_) => {}
+        Formula::Atom(_) => {
+            if !out.contains(f) {
+                out.push(f.clone());
+            }
+        }
+        Formula::Not(g) => collect_atoms(g, out),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                collect_atoms(g, out);
+            }
+        }
+    }
+}
+
+/// Convenience: the full §5 step — feasibility check, then (if spurious)
+/// predicate discovery and environment refinement. Returns the feasibility
+/// verdict and whether the environment changed.
+pub fn refine_env(
+    program: &Program,
+    trace: &Trace,
+    env: &mut AbsEnv,
+    solver: &SmtSolver,
+    opts: &RefineOptions,
+) -> Result<(Feasibility, bool), RefineError> {
+    let feas = check_feasibility(trace, solver);
+    if matches!(feas, Feasibility::Feasible(_)) {
+        return Ok((feas, false));
+    }
+    let refinement = discover_predicates(program, trace, opts)?;
+    let mut changed = env.refine(&refinement.fun_updates, &refinement.rand_updates);
+    for u in &refinement.ho_updates {
+        changed |= env.apply_ho_update(&u.def, &u.param, u.chain_pos, &u.pred);
+    }
+    Ok((feas, changed))
+}

@@ -1,0 +1,91 @@
+//! The `homc` command-line verifier.
+//!
+//! ```text
+//! homc <file.ml>       verify a source file
+//! homc --suite [name]  run the paper's Table 1 suite (or one program)
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use homc::{suite, verify, Expected, Verdict, VerifierOptions};
+
+fn fmt_d(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+fn run_one(name: &str, source: &str, expected: Option<Expected>) -> bool {
+    let opts = VerifierOptions::default();
+    match verify(source, &opts) {
+        Ok(out) => {
+            let v = match &out.verdict {
+                Verdict::Safe => "safe".to_string(),
+                Verdict::Unsafe { .. } => "unsafe".to_string(),
+                Verdict::Unknown { reason } => format!("unknown({reason:?})"),
+            };
+            let ok = match expected {
+                None => true,
+                Some(Expected::Safe) => out.verdict.is_safe(),
+                Some(Expected::Unsafe) => out.verdict.is_unsafe(),
+                Some(Expected::Diverges) => !out.verdict.is_unsafe(),
+            };
+            println!(
+                "{name:12} S={:4} O={} C={:2}  abst={} mc={} cegar={} total={}  -> {v}{}",
+                out.size,
+                out.order,
+                out.stats.cycles,
+                fmt_d(out.stats.abst),
+                fmt_d(out.stats.mc),
+                fmt_d(out.stats.cegar),
+                fmt_d(out.stats.total),
+                if ok { "" } else { "  ** UNEXPECTED **" },
+            );
+            ok
+        }
+        Err(e) => {
+            println!("{name:12} ERROR: {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--suite") => {
+            let filter = args.get(1).cloned();
+            let mut all_ok = true;
+            for p in suite::SUITE {
+                if let Some(f) = &filter {
+                    if p.name != f {
+                        continue;
+                    }
+                }
+                all_ok &= run_one(p.name, p.source, Some(p.expected));
+            }
+            if all_ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if run_one(path, &src, None) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        None => {
+            eprintln!("usage: homc <file.ml> | homc --suite [program]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The CEGAR verification loop — the paper's Figure 1.
+//!
+//! ```text
+//!  program ──(1) predicate abstraction──▶ boolean program
+//!     ▲                                        │ (2) higher-order model checking
+//!     │ (4) refine abstraction types           ▼
+//!  new predicates ◀──(4) SHP + interpolation── error path ──(3) feasibility
+//!     (spurious)                                   │ (feasible)
+//!                                                  ▼
+//!                                   SAFE ◀── no path      UNSAFE + witness
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use homc_abs::{abstract_program, AbsEnv, AbsOptions};
+use homc_cegar::{build_trace, refine_env, Feasibility, RefineOptions, TraceEnd};
+use homc_hbp::check::{CheckLimits, Checker};
+use homc_hbp::{find_error_path, source_labels};
+use homc_lang::eval::Label;
+use homc_lang::{frontend, Compiled};
+use homc_smt::SmtSolver;
+
+/// Options controlling the verifier.
+#[derive(Clone, Debug)]
+pub struct VerifierOptions {
+    /// Maximum number of CEGAR iterations before giving up.
+    pub max_iterations: usize,
+    /// Predicate abstraction options.
+    pub abs: AbsOptions,
+    /// Model checker limits.
+    pub check: CheckLimits,
+    /// Refinement options.
+    pub refine: RefineOptions,
+    /// Fuel for symbolic replay of error paths.
+    pub trace_fuel: u64,
+}
+
+impl Default for VerifierOptions {
+    fn default() -> VerifierOptions {
+        VerifierOptions {
+            max_iterations: 40,
+            abs: AbsOptions::default(),
+            check: CheckLimits::default(),
+            refine: RefineOptions::default(),
+            trace_fuel: 200_000,
+        }
+    }
+}
+
+/// The verification verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The program never reaches `fail`, for any unknown integers and any
+    /// non-deterministic choices.
+    Safe,
+    /// The program can fail; the witness gives values for the unknown
+    /// integers and the branch labels of a concrete failing run.
+    Unsafe {
+        /// Values of `main`'s unknown integers.
+        witness: Vec<i64>,
+        /// Labels of the failing path (source-level `⊓` choices).
+        path: Vec<Label>,
+    },
+    /// The verifier gave up.
+    Unknown {
+        /// Why.
+        reason: UnknownReason,
+    },
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Verdict::Safe)
+    }
+
+    /// `true` for [`Verdict::Unsafe`].
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, Verdict::Unsafe { .. })
+    }
+}
+
+/// Why the verifier reported [`Verdict::Unknown`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The CEGAR iteration budget was exhausted (the paper's `apply`
+    /// behaviour: ever-more-specific abstraction types, no convergence).
+    IterationsExhausted,
+    /// Refinement found no new predicate for a spurious path.
+    NoProgress,
+    /// The model checker or a solver exceeded its resource limits.
+    Budget(String),
+    /// A solver returned an inconclusive answer (e.g. non-linear
+    /// arithmetic was over-approximated on a candidate counterexample).
+    Inconclusive,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Safe => write!(f, "safe"),
+            Verdict::Unsafe { witness, .. } => write!(f, "unsafe (witness {witness:?})"),
+            Verdict::Unknown { reason } => write!(f, "unknown ({reason:?})"),
+        }
+    }
+}
+
+/// Per-phase timing and effort statistics (the columns of the paper's
+/// Table 1).
+#[derive(Clone, Debug, Default)]
+pub struct VerifyStats {
+    /// CEGAR cycles (the paper's column C).
+    pub cycles: usize,
+    /// Time computing abstract programs (column `abst`).
+    pub abst: Duration,
+    /// Time model-checking boolean programs (column `mc`).
+    pub mc: Duration,
+    /// Time in feasibility checking + predicate discovery (column `cegar`).
+    pub cegar: Duration,
+    /// Total wall-clock time (column `total`).
+    pub total: Duration,
+    /// Total predicates in the final abstraction-type environment.
+    pub predicates: usize,
+    /// Size of the final boolean program (AST nodes).
+    pub final_hbp_size: usize,
+}
+
+/// The result of a verification run.
+#[derive(Clone, Debug)]
+pub struct VerifyOutcome {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Statistics.
+    pub stats: VerifyStats,
+    /// The paper's size metric S (source word count).
+    pub size: usize,
+    /// The paper's order metric O.
+    pub order: usize,
+}
+
+/// A hard error (malformed input, internal invariant failure).
+#[derive(Clone, Debug)]
+pub struct VerifyError(pub String);
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification error: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a source program (front end + CEGAR loop).
+pub fn verify(src: &str, opts: &VerifierOptions) -> Result<VerifyOutcome, VerifyError> {
+    let compiled = frontend(src).map_err(|e| VerifyError(e.to_string()))?;
+    verify_compiled(&compiled, opts)
+}
+
+/// Verifies an already-compiled program.
+pub fn verify_compiled(
+    compiled: &Compiled,
+    opts: &VerifierOptions,
+) -> Result<VerifyOutcome, VerifyError> {
+    let start = Instant::now();
+    let mut stats = VerifyStats::default();
+    let solver = SmtSolver::new();
+    let mut env = AbsEnv::initial(&compiled.cps);
+    let mut verdict = Verdict::Unknown {
+        reason: UnknownReason::IterationsExhausted,
+    };
+
+    for iteration in 0..opts.max_iterations {
+        // Step 1: predicate abstraction.
+        let t = Instant::now();
+        let abs_result = abstract_program(&compiled.cps, &env, &opts.abs);
+        stats.abst += t.elapsed();
+        let bp = match abs_result {
+            Ok((bp, _)) => bp,
+            Err(e) => {
+                verdict = Verdict::Unknown {
+                    reason: UnknownReason::Budget(format!("abstraction: {e}")),
+                };
+                break;
+            }
+        };
+        stats.final_hbp_size = bp.size();
+
+        // Step 2: higher-order model checking.
+        let t = Instant::now();
+        let mc = (|| {
+            let mut checker = Checker::new(&bp, opts.check)?;
+            checker.saturate()?;
+            if !checker.may_fail() {
+                return Ok(None);
+            }
+            find_error_path(&mut checker)
+        })();
+        stats.mc += t.elapsed();
+        let path = match mc {
+            Ok(None) => {
+                verdict = Verdict::Safe;
+                break;
+            }
+            Ok(Some(p)) => p,
+            Err(e) => {
+                verdict = Verdict::Unknown {
+                    reason: UnknownReason::Budget(format!("model checking: {e}")),
+                };
+                break;
+            }
+        };
+
+        // Steps 3–4: feasibility and refinement.
+        let t = Instant::now();
+        let labels = source_labels(&path);
+        let trace = match build_trace(&compiled.cps, &labels, opts.trace_fuel) {
+            Ok(tr) => tr,
+            Err(e) => {
+                stats.cegar += t.elapsed();
+                verdict = Verdict::Unknown {
+                    reason: UnknownReason::Budget(format!("trace: {e}")),
+                };
+                break;
+            }
+        };
+        if trace.end != TraceEnd::ReachedFail {
+            stats.cegar += t.elapsed();
+            verdict = Verdict::Unknown {
+                reason: UnknownReason::Budget(format!(
+                    "abstract path did not replay to fail: {:?}",
+                    trace.end
+                )),
+            };
+            break;
+        }
+        let refine_opts = RefineOptions {
+            iteration,
+            ..opts.refine
+        };
+        let refined = refine_env(&compiled.cps, &trace, &mut env, &solver, &refine_opts);
+        stats.cegar += t.elapsed();
+        stats.cycles = iteration + 1;
+        match refined {
+            Ok((Feasibility::Feasible(witness), _)) => {
+                verdict = Verdict::Unsafe {
+                    witness,
+                    path: labels,
+                };
+                break;
+            }
+            Ok((Feasibility::Unknown, _)) => {
+                verdict = Verdict::Unknown {
+                    reason: UnknownReason::Inconclusive,
+                };
+                break;
+            }
+            Ok((Feasibility::Infeasible, changed)) => {
+                if !changed {
+                    verdict = Verdict::Unknown {
+                        reason: UnknownReason::NoProgress,
+                    };
+                    break;
+                }
+                // Continue the loop with the refined environment.
+            }
+            Err(e) => {
+                verdict = Verdict::Unknown {
+                    reason: UnknownReason::Budget(format!("refinement: {e}")),
+                };
+                break;
+            }
+        }
+    }
+
+    stats.total = start.elapsed();
+    stats.predicates = env.fingerprint();
+    Ok(VerifyOutcome {
+        verdict,
+        stats,
+        size: compiled.size,
+        order: compiled.order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify_src(src: &str) -> Verdict {
+        verify(src, &VerifierOptions::default())
+            .expect("no hard error")
+            .verdict
+    }
+
+    #[test]
+    fn intro1_safe() {
+        let v = verify_src(
+            "let f x g = g (x + 1) in
+             let h y = assert (y > 0) in
+             let k n = if n > 0 then f n h else () in
+             k m",
+        );
+        assert_eq!(v, Verdict::Safe);
+    }
+
+    #[test]
+    fn simple_unsafe_with_witness() {
+        let v = verify_src("assert (n > 0)");
+        match v {
+            Verdict::Unsafe { witness, .. } => assert!(witness[0] <= 0),
+            other => panic!("expected Unsafe, got {other}"),
+        }
+    }
+
+    #[test]
+    fn intro2_safe() {
+        // M2: the ≥-variant needs different predicates per position.
+        let v = verify_src(
+            "let f x g = g (x + 1) in
+             let h y = assert (y > 0) in
+             let k n = if n >= 0 then f n h else () in
+             k m",
+        );
+        assert_eq!(v, Verdict::Safe);
+    }
+
+    #[test]
+    fn intro3_safe() {
+        // M3: needs dependent abstraction types.
+        let v = verify_src(
+            "let f x g = g (x + 1) in
+             let h z y = assert (y > z) in
+             let k n = if n >= 0 then f n (h n) else () in
+             k m",
+        );
+        assert_eq!(v, Verdict::Safe);
+    }
+
+    #[test]
+    fn cycles_counted() {
+        let out = verify(
+            "let f x g = g (x + 1) in
+             let h y = assert (y > 0) in
+             let k n = if n > 0 then f n h else () in
+             k m",
+            &VerifierOptions::default(),
+        )
+        .expect("runs");
+        assert!(out.stats.cycles >= 1, "CEGAR must iterate at least once");
+        assert_eq!(out.order, 2);
+    }
+}
+
+#[cfg(test)]
+mod gen_p_tests {
+    use super::*;
+    use homc_cegar::RefineOptions;
+
+    /// §5.3's relative-completeness device: with interpolation-based
+    /// discovery disabled entirely, the blind enumeration alone must still
+    /// eventually verify M1 (the needed predicate ν > 0 appears at a finite
+    /// index).
+    #[test]
+    fn gen_p_enumeration_alone_verifies_m1() {
+        let opts = VerifierOptions {
+            max_iterations: 60,
+            refine: RefineOptions {
+                seed_from_path: false,
+                enumerate_gen_p: true,
+                iteration: 0,
+            },
+            ..VerifierOptions::default()
+        };
+        let v = verify(
+            "let f x g = g (x + 1) in
+             let h y = assert (y > 0) in
+             let k n = if n > 0 then f n h else () in
+             k m",
+            &opts,
+        )
+        .expect("runs")
+        .verdict;
+        assert_eq!(v, Verdict::Safe);
+    }
+}

@@ -1,0 +1,251 @@
+//! Property-based differential testing: random well-typed boolean programs,
+//! checked by the precise saturation engine and cross-validated against the
+//! recursion-scheme control skeleton (via `homc-hors` in the workspace
+//! integration tests) and against bounded concrete exploration here.
+//!
+//! The bounded explorer enumerates every execution up to a call depth; any
+//! failure it finds must be found by the checker (completeness on bounded
+//! witnesses), and if the checker says "cannot fail", the explorer must
+//! find none (soundness).
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use homc_hbp::check::{model_check, CheckLimits};
+use homc_hbp::{BDef, BExpr, BProgram, BTy, BVal, BoolExpr};
+use homc_smt::Var;
+
+/// All defs share the signature (bool, unit → unit) → unit, so any
+/// generated call is well-typed by construction.
+fn sig() -> Vec<(Var, BTy)> {
+    vec![
+        (Var::new("b"), BTy::Tuple(1)),
+        (Var::new("k"), BTy::fun(BTy::unit(), BTy::unit())),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = BoolExpr> {
+    prop_oneof![
+        Just(BoolExpr::Proj(Var::new("b"), 0)),
+        Just(BoolExpr::not(BoolExpr::Proj(Var::new("b"), 0))),
+        Just(BoolExpr::TRUE),
+    ]
+}
+
+fn arb_arg() -> impl Strategy<Value = BoolExpr> {
+    prop_oneof![
+        Just(BoolExpr::TRUE),
+        Just(BoolExpr::FALSE),
+        Just(BoolExpr::Proj(Var::new("b"), 0)),
+        Just(BoolExpr::not(BoolExpr::Proj(Var::new("b"), 0))),
+    ]
+}
+
+/// Bodies over `n_defs` mutually recursive functions.
+fn arb_body(n_defs: usize, depth: u32) -> impl Strategy<Value = BExpr> {
+    let leaf = prop_oneof![
+        3 => Just(BExpr::Call(BVal::Var(Var::new("k")), vec![BVal::unit()])),
+        1 => Just(BExpr::Fail),
+        2 => (0..n_defs, arb_arg()).prop_map(|(i, a)| {
+            BExpr::Call(
+                BVal::Fun(format!("f{i}").as_str().into()),
+                vec![BVal::Tuple(vec![a]), BVal::Var(Var::new("k"))],
+            )
+        }),
+    ];
+    leaf.prop_recursive(depth, 24, 2, move |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| BExpr::schoice(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| BExpr::achoice(l, r)),
+            (arb_cond(), inner.clone()).prop_map(|(c, e)| BExpr::assume(c, e)),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = BProgram> {
+    let n = 3usize;
+    (
+        prop::collection::vec(arb_body(n, 3), n),
+        arb_body(n, 2),
+    )
+        .prop_map(move |(bodies, main_body)| {
+            let mut defs: Vec<BDef> = bodies
+                .into_iter()
+                .enumerate()
+                .map(|(i, body)| BDef {
+                    name: format!("f{i}").as_str().into(),
+                    params: sig(),
+                    body,
+                })
+                .collect();
+            defs.push(BDef {
+                name: "ok".into(),
+                params: vec![(Var::new("u"), BTy::unit())],
+                body: BExpr::Value(BVal::unit()),
+            });
+            // main fixes b = true and k = ok.
+            let main_body = inline_entry(main_body);
+            defs.push(BDef {
+                name: "main".into(),
+                params: vec![],
+                body: main_body,
+            });
+            BProgram {
+                defs,
+                main: "main".into(),
+            }
+        })
+}
+
+/// Rewrites the generated body into a closed entry: `b` becomes ⟨true⟩ and
+/// `k` becomes `ok` (done by let-binding, keeping the body untouched).
+fn inline_entry(body: BExpr) -> BExpr {
+    BExpr::let_(
+        Var::new("b"),
+        BExpr::Value(BVal::Tuple(vec![BoolExpr::TRUE])),
+        BExpr::let_(
+            Var::new("k"),
+            BExpr::Value(BVal::Fun("ok".into())),
+            body,
+        ),
+    )
+}
+
+/// Bounded concrete exploration: can `fail` be reached within `depth`
+/// nested calls?
+fn explore(p: &BProgram, e: &BExpr, env: &BTreeMap<Var, CVal>, depth: usize) -> bool {
+    match e {
+        BExpr::Fail => true,
+        BExpr::Value(_) => false,
+        BExpr::SChoice(l, r) | BExpr::AChoice(l, r) => {
+            explore(p, l, env, depth) || explore(p, r, env, depth)
+        }
+        BExpr::Assume(c, body) => {
+            let proj = |x: &Var, i: usize| match env.get(x) {
+                Some(CVal::Base(bits)) => (bits >> i) & 1 == 1,
+                _ => panic!("bad projection"),
+            };
+            c.eval(&proj) && explore(p, body, env, depth)
+        }
+        BExpr::Let(x, rhs, body) => {
+            // Enumerate rhs values.
+            let mut any = false;
+            for v in rhs_values(p, rhs, env) {
+                let mut env2 = env.clone();
+                env2.insert(x.clone(), v);
+                any |= explore(p, body, &env2, depth);
+            }
+            any
+        }
+        BExpr::Call(h, args) => {
+            if depth == 0 {
+                return false;
+            }
+            let head = eval_val(h, env);
+            let mut full = match head {
+                CVal::Clo(f, prev) => {
+                    let mut prev = prev;
+                    prev.extend(args.iter().map(|a| eval_val(a, env)));
+                    (f, prev)
+                }
+                CVal::Base(_) => panic!("call of base"),
+            };
+            let def = p.def(&full.0).expect("defined");
+            let mut env2 = BTreeMap::new();
+            for ((x, _), v) in def.params.iter().zip(full.1.drain(..)) {
+                env2.insert(x.clone(), v);
+            }
+            explore(p, &def.body, &env2, depth - 1)
+        }
+    }
+}
+
+#[derive(Clone)]
+enum CVal {
+    Base(u64),
+    Clo(homc_hbp::FunName, Vec<CVal>),
+}
+
+fn eval_val(v: &BVal, env: &BTreeMap<Var, CVal>) -> CVal {
+    match v {
+        BVal::Tuple(es) => {
+            let proj = |x: &Var, i: usize| match env.get(x) {
+                Some(CVal::Base(bits)) => (bits >> i) & 1 == 1,
+                _ => panic!("bad projection"),
+            };
+            let mut bits = 0u64;
+            for (i, e) in es.iter().enumerate() {
+                if e.eval(&proj) {
+                    bits |= 1 << i;
+                }
+            }
+            CVal::Base(bits)
+        }
+        BVal::Var(x) => env.get(x).cloned().expect("bound"),
+        BVal::Fun(f) => CVal::Clo(f.clone(), Vec::new()),
+        BVal::PApp(h, args) => match eval_val(h, env) {
+            CVal::Clo(f, mut prev) => {
+                prev.extend(args.iter().map(|a| eval_val(a, env)));
+                CVal::Clo(f, prev)
+            }
+            CVal::Base(_) => panic!("papp of base"),
+        },
+    }
+}
+
+fn rhs_values(p: &BProgram, e: &BExpr, env: &BTreeMap<Var, CVal>) -> Vec<CVal> {
+    match e {
+        BExpr::Value(v) => vec![eval_val(v, env)],
+        BExpr::SChoice(l, r) | BExpr::AChoice(l, r) => {
+            let mut out = rhs_values(p, l, env);
+            out.extend(rhs_values(p, r, env));
+            out
+        }
+        BExpr::Assume(c, body) => {
+            let proj = |x: &Var, i: usize| match env.get(x) {
+                Some(CVal::Base(bits)) => (bits >> i) & 1 == 1,
+                _ => panic!("bad projection"),
+            };
+            if c.eval(&proj) {
+                rhs_values(p, body, env)
+            } else {
+                Vec::new()
+            }
+        }
+        BExpr::Let(x, rhs, body) => {
+            let mut out = Vec::new();
+            for v in rhs_values(p, rhs, env) {
+                let mut env2 = env.clone();
+                env2.insert(x.clone(), v);
+                out.extend(rhs_values(p, body, &env2));
+            }
+            out
+        }
+        BExpr::Call(_, _) | BExpr::Fail => Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Checker verdicts agree with bounded concrete exploration.
+    #[test]
+    fn checker_agrees_with_bounded_exploration(p in arb_program()) {
+        prop_assume!(p.check().is_ok());
+        let Ok((may_fail, _)) = model_check(&p, CheckLimits::default()) else {
+            return Ok(()); // budget; nothing to compare
+        };
+        let main = p.def(&"main".into()).expect("main").clone();
+        let bounded = explore(&p, &main.body, &BTreeMap::new(), 8);
+        // Soundness of "safe": if the checker says cannot-fail, bounded
+        // search must find nothing.
+        if !may_fail {
+            prop_assert!(!bounded, "checker says safe but depth-8 exploration fails");
+        }
+        // Completeness on bounded witnesses: anything the explorer finds,
+        // the checker must find.
+        if bounded {
+            prop_assert!(may_fail, "depth-8 failure missed by the checker");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! `homc-hors`: higher-order recursion schemes and their model checking.
+//!
+//! The substrate the paper's pipeline rests on (§3): recursion schemes —
+//! grammars for infinite trees, equivalently simply-typed λ-terms with
+//! recursion — and the decidable model checking of the trees they generate
+//! against (deterministic trivial) tree automata, the reachability fragment
+//! of Ong's theorem used throughout the paper.
+//!
+//! * [`ast`] — schemes, kinds, kind checking, trivial automata;
+//! * [`check`] — a HorSat-style saturation decision procedure for
+//!   "the generated tree contains a rejected node" (the complement of
+//!   trivial-automaton acceptance);
+//! * [`translate`] — the control-skeleton encoding of higher-order boolean
+//!   programs into schemes, a sound over-approximation used to
+//!   cross-validate the precise direct checker of `homc-hbp`.
+//!
+//! # Example
+//!
+//! ```
+//! use homc_hors::ast::{Hors, Kind, Rule, Term, TrivialAutomaton};
+//! use homc_hors::check::rejected;
+//!
+//! // S = F c ;  F x = br x (F (s x))  — an infinite tree with no `fail`.
+//! let hors = Hors {
+//!     terminals: vec![("br".into(), 2), ("s".into(), 1), ("c".into(), 0),
+//!                     ("fail".into(), 0)],
+//!     rules: vec![
+//!         Rule { name: "S".into(), params: vec![],
+//!                body: Term::NT("F".into()).app([Term::Terminal("c".into())]) },
+//!         Rule { name: "F".into(), params: vec![("x".into(), Kind::O)],
+//!                body: Term::Terminal("br".into()).app([
+//!                    Term::Var("x".into()),
+//!                    Term::NT("F".into()).app([
+//!                        Term::Terminal("s".into()).app([Term::Var("x".into())])]),
+//!                ]) },
+//!     ],
+//!     start: "S".into(),
+//! };
+//! let automaton = TrivialAutomaton::fail_free(&hors, &["fail"]);
+//! assert!(!rejected(&hors, &automaton).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod translate;
+
+pub use ast::{Hors, Kind, Rule, Term, TrivialAutomaton};
+pub use check::{rejected, HArrow, HorsError};
+pub use translate::skeleton;

@@ -1,0 +1,167 @@
+//! Lexer for the surface language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// Keyword or punctuation with fixed spelling.
+    Kw(&'static str),
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Kw(s) => write!(f, "{s}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A lexing or parsing error with a byte position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the source where the error was noticed.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const KEYWORDS: &[&str] = &[
+    "let", "rec", "in", "if", "then", "else", "fun", "true", "false", "not", "assert", "assume",
+    "fail", "and",
+];
+
+const SYMBOLS: &[&str] = &[
+    "->", "<=", ">=", "<>", "&&", "||", "(", ")", "=", "<", ">", "+", "-", "*", "/", ";", ",",
+];
+
+/// Tokenizes a source string. Comments are `(* … *)` (nesting allowed).
+pub fn lex(src: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if src[i..].starts_with("(*") {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < bytes.len() {
+                if src[j..].starts_with("(*") {
+                    depth += 1;
+                    j += 2;
+                } else if src[j..].starts_with("*)") {
+                    depth -= 1;
+                    j += 2;
+                    if depth == 0 {
+                        i = j;
+                        continue 'outer;
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+            return Err(ParseError {
+                message: "unterminated comment".into(),
+                position: i,
+            });
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = src[start..i].parse().map_err(|_| ParseError {
+                message: "integer literal out of range".into(),
+                position: start,
+            })?;
+            out.push((Token::Int(n), start));
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let word = &src[start..i];
+            if let Some(kw) = KEYWORDS.iter().find(|k| **k == word) {
+                out.push((Token::Kw(kw), start));
+            } else {
+                out.push((Token::Ident(word.to_string()), start));
+            }
+            continue;
+        }
+        // Symbols (longest match first).
+        for sym in SYMBOLS {
+            if src[i..].starts_with(sym) {
+                out.push((Token::Kw(sym), i));
+                i += sym.len();
+                continue 'outer;
+            }
+        }
+        return Err(ParseError {
+            message: format!("unexpected character {c:?}"),
+            position: i,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_intro_program() {
+        let toks = lex("let f x g = g (x + 1) in f").expect("lexes");
+        let words: Vec<String> = toks.iter().map(|(t, _)| t.to_string()).collect();
+        assert_eq!(
+            words,
+            ["let", "f", "x", "g", "=", "g", "(", "x", "+", "1", ")", "in", "f"]
+        );
+    }
+
+    #[test]
+    fn nested_comments() {
+        let toks = lex("1 (* a (* b *) c *) 2").expect("lexes");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn longest_symbol_match() {
+        let toks = lex("x <= y <> z -> w").expect("lexes");
+        let words: Vec<String> = toks.iter().map(|(t, _)| t.to_string()).collect();
+        assert_eq!(words, ["x", "<=", "y", "<>", "z", "->", "w"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("let x = #").is_err());
+        assert!(lex("(* unterminated").is_err());
+    }
+}

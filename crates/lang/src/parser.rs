@@ -1,0 +1,379 @@
+//! Recursive-descent parser for the surface language.
+
+use crate::ast::{BinOp, SurfaceExpr};
+use crate::lexer::{lex, ParseError, Token};
+
+/// Parses a whole program: one expression, usually a `let … in` chain whose
+/// final expression is the body to verify.
+pub fn parse(src: &str) -> Result<SurfaceExpr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error("trailing input after program"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Kw(k)) if *k == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`")))
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let position = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|(_, p)| *p)
+            .unwrap_or(0);
+        ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected identifier"))
+            }
+        }
+    }
+
+    /// expr := let | if | fun | assume | seq
+    fn expr(&mut self) -> Result<SurfaceExpr, ParseError> {
+        if self.eat_kw("let") {
+            let recursive = self.eat_kw("rec");
+            let name = self.ident()?;
+            let mut params = Vec::new();
+            loop {
+                match self.peek() {
+                    Some(Token::Ident(_)) => params.push(self.ident()?),
+                    Some(Token::Kw("(")) => {
+                        // Allow a unit parameter `let k () = …`.
+                        let save = self.pos;
+                        self.pos += 1;
+                        if self.eat_kw(")") {
+                            params.push("_unit".to_string());
+                        } else {
+                            self.pos = save;
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            self.expect_kw("=")?;
+            let rhs = self.expr()?;
+            self.expect_kw("in")?;
+            let body = self.expr()?;
+            return Ok(SurfaceExpr::Let {
+                recursive,
+                name,
+                params,
+                rhs: Box::new(rhs),
+                body: Box::new(body),
+            });
+        }
+        if self.eat_kw("if") {
+            let c = self.expr()?;
+            self.expect_kw("then")?;
+            let t = self.expr()?;
+            self.expect_kw("else")?;
+            let e = self.expr()?;
+            return Ok(SurfaceExpr::If(Box::new(c), Box::new(t), Box::new(e)));
+        }
+        if self.eat_kw("fun") {
+            let mut params = vec![self.ident()?];
+            while let Some(Token::Ident(_)) = self.peek() {
+                params.push(self.ident()?);
+            }
+            self.expect_kw("->")?;
+            let mut body = self.expr()?;
+            for p in params.into_iter().rev() {
+                body = SurfaceExpr::Fun(p, Box::new(body));
+            }
+            return Ok(body);
+        }
+        if self.eat_kw("assume") {
+            let c = self.unary()?;
+            self.expect_kw(";")?;
+            let body = self.expr()?;
+            return Ok(SurfaceExpr::Assume(Box::new(c), Box::new(body)));
+        }
+        self.seq()
+    }
+
+    /// seq := disj (";" expr)?
+    fn seq(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let first = self.disj()?;
+        if self.eat_kw(";") {
+            let rest = self.expr()?;
+            Ok(SurfaceExpr::Seq(Box::new(first), Box::new(rest)))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn disj(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let mut e = self.conj()?;
+        while self.eat_kw("||") {
+            let r = self.conj()?;
+            e = SurfaceExpr::BinOp(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn conj(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let mut e = self.cmp()?;
+        while self.eat_kw("&&") {
+            let r = self.cmp()?;
+            e = SurfaceExpr::BinOp(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn cmp(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let e = self.addsub()?;
+        let op = match self.peek() {
+            Some(Token::Kw("=")) => Some(BinOp::Eq),
+            Some(Token::Kw("<>")) => Some(BinOp::Ne),
+            Some(Token::Kw("<")) => Some(BinOp::Lt),
+            Some(Token::Kw("<=")) => Some(BinOp::Le),
+            Some(Token::Kw(">")) => Some(BinOp::Gt),
+            Some(Token::Kw(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let r = self.addsub()?;
+            Ok(SurfaceExpr::BinOp(op, Box::new(e), Box::new(r)))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn addsub(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let mut e = self.mul()?;
+        loop {
+            if self.eat_kw("+") {
+                let r = self.mul()?;
+                e = SurfaceExpr::BinOp(BinOp::Add, Box::new(e), Box::new(r));
+            } else if self.eat_kw("-") {
+                let r = self.mul()?;
+                e = SurfaceExpr::BinOp(BinOp::Sub, Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn mul(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            if self.eat_kw("*") {
+                let r = self.unary()?;
+                e = SurfaceExpr::BinOp(BinOp::Mul, Box::new(e), Box::new(r));
+            } else if self.eat_kw("/") {
+                let r = self.unary()?;
+                e = SurfaceExpr::BinOp(BinOp::Div, Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<SurfaceExpr, ParseError> {
+        if self.eat_kw("-") {
+            let e = self.unary()?;
+            return Ok(SurfaceExpr::Neg(Box::new(e)));
+        }
+        if self.eat_kw("not") {
+            let e = self.unary()?;
+            return Ok(SurfaceExpr::Not(Box::new(e)));
+        }
+        self.app()
+    }
+
+    /// app := atom+ — also handles `assert e` and the built-in randoms.
+    fn app(&mut self) -> Result<SurfaceExpr, ParseError> {
+        if self.eat_kw("assert") {
+            let e = self.atom()?;
+            return Ok(SurfaceExpr::Assert(Box::new(e)));
+        }
+        let mut e = self.atom()?;
+        while self.starts_atom() {
+            let a = self.atom()?;
+            e = match e {
+                // `fail ()`, `rand_int ()` and friends: the unit argument is
+                // decoration, not application.
+                SurfaceExpr::Fail | SurfaceExpr::RandInt | SurfaceExpr::RandBool
+                    if a == SurfaceExpr::Unit =>
+                {
+                    e
+                }
+                e => SurfaceExpr::App(Box::new(e), Box::new(a)),
+            };
+        }
+        Ok(e)
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Int(_))
+                | Some(Token::Ident(_))
+                | Some(Token::Kw("("))
+                | Some(Token::Kw("true"))
+                | Some(Token::Kw("false"))
+                | Some(Token::Kw("fail"))
+        )
+    }
+
+    fn atom(&mut self) -> Result<SurfaceExpr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(n)) => Ok(SurfaceExpr::Int(n)),
+            Some(Token::Kw("true")) => Ok(SurfaceExpr::Bool(true)),
+            Some(Token::Kw("false")) => Ok(SurfaceExpr::Bool(false)),
+            Some(Token::Kw("fail")) => Ok(SurfaceExpr::Fail),
+            Some(Token::Ident(s)) => Ok(match s.as_str() {
+                "rand_int" | "randi" => SurfaceExpr::RandInt,
+                "rand_bool" | "randb" => SurfaceExpr::RandBool,
+                _ => SurfaceExpr::Var(s),
+            }),
+            Some(Token::Kw("(")) => {
+                if self.eat_kw(")") {
+                    return Ok(SurfaceExpr::Unit);
+                }
+                let e = self.expr()?;
+                self.expect_kw(")")?;
+                Ok(e)
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected an atomic expression"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_m1() {
+        // The paper's §1 program M1, in the surface syntax.
+        let src = r#"
+            let f x g = g (x + 1) in
+            let h y = assert (y > 0) in
+            let k n = if n > 0 then f n h else () in
+            k rand_int
+        "#;
+        let e = parse(src).expect("parses");
+        match e {
+            SurfaceExpr::Let { name, .. } => assert_eq!(name, "f"),
+            other => panic!("expected Let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 = 7 parses as (1 + (2*3)) = 7
+        let e = parse("1 + 2 * 3 = 7").expect("parses");
+        match e {
+            SurfaceExpr::BinOp(BinOp::Eq, l, _) => match *l {
+                SurfaceExpr::BinOp(BinOp::Add, _, r) => {
+                    assert!(matches!(*r, SurfaceExpr::BinOp(BinOp::Mul, _, _)))
+                }
+                other => panic!("expected Add, got {other:?}"),
+            },
+            other => panic!("expected Eq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn application_binds_tighter_than_ops() {
+        // f x + 1 is (f x) + 1
+        let e = parse("f x + 1").expect("parses");
+        assert!(matches!(e, SurfaceExpr::BinOp(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn unit_params_and_calls() {
+        let e = parse("let k _u = fail () in k ()").expect("parses");
+        match e {
+            SurfaceExpr::Let { rhs, .. } => assert_eq!(*rhs, SurfaceExpr::Fail),
+            other => panic!("expected Let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_rec_and_if() {
+        let src = "let rec sum n = if n <= 0 then 0 else n + sum (n - 1) in assert (n <= sum n)";
+        let e = parse(src).expect("parses");
+        match e {
+            SurfaceExpr::Let {
+                recursive, body, ..
+            } => {
+                assert!(recursive);
+                assert!(matches!(*body, SurfaceExpr::Assert(_)));
+            }
+            other => panic!("expected Let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fun_sugar() {
+        let e = parse("fun x y -> x + y").expect("parses");
+        assert!(matches!(e, SurfaceExpr::Fun(_, _)));
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        assert!(parse("(1 + 2").is_err());
+        assert!(parse("let x = in y").is_err());
+    }
+
+    #[test]
+    fn seq_and_assume() {
+        let e = parse("assume (x > 0); f x; ()").expect("parses");
+        assert!(matches!(e, SurfaceExpr::Assume(_, _)));
+    }
+}

@@ -1,0 +1,433 @@
+//! Satisfiability of conjunctions of linear constraints.
+//!
+//! The engine is Fourier–Motzkin elimination over the rationals with Farkas
+//! certificate tracking, followed by branch & bound for integer completeness.
+//! Certificates drive both unsat-core extraction (theory conflicts in the
+//! solver) and Farkas interpolation (see [`crate::interp`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::linexpr::{Atom, Rel, Var};
+use crate::rat::Rat;
+
+/// One Farkas multiplier: `(index of the original atom, coefficient)`.
+///
+/// Coefficients for `<=`-atoms are always non-negative; coefficients for
+/// `=`-atoms may carry either sign.
+pub type FarkasCert = Vec<(usize, Rat)>;
+
+/// Result of a rational-arithmetic conjunction check.
+#[derive(Clone, Debug)]
+pub enum RatResult {
+    /// Satisfiable, with a rational model (variables not mentioned map to 0).
+    Sat(BTreeMap<Var, Rat>),
+    /// Unsatisfiable, with a Farkas certificate: a combination of the input
+    /// atoms summing to a positive constant claimed `<= 0`.
+    Unsat(FarkasCert),
+}
+
+/// Result of an integer-arithmetic conjunction check.
+#[derive(Clone, Debug)]
+pub enum IntResult {
+    /// Satisfiable, with an integer model.
+    Sat(BTreeMap<Var, i128>),
+    /// Unsatisfiable. The certificate is present when the rational relaxation
+    /// is already unsatisfiable, and absent when integrality reasoning
+    /// (branch & bound or a gcd cut) was needed.
+    Unsat(Option<FarkasCert>),
+    /// The branch & bound depth limit was exceeded.
+    Unknown,
+}
+
+/// A working row `Σ coeffs·x + cst <= 0` with its provenance.
+#[derive(Clone, Debug)]
+struct Row {
+    coeffs: BTreeMap<Var, Rat>,
+    cst: Rat,
+    cert: FarkasCert,
+}
+
+impl Row {
+    fn from_atom(idx: usize, atom: &Atom, sign: i128) -> Row {
+        let mut coeffs = BTreeMap::new();
+        for (v, c) in atom.lhs().iter() {
+            coeffs.insert(v.clone(), Rat::int(c * sign));
+        }
+        Row {
+            coeffs,
+            cst: Rat::int(atom.lhs().constant_part() * sign),
+            cert: vec![(idx, Rat::int(sign))],
+        }
+    }
+
+    /// `self + other * k` with `k > 0`.
+    fn combine(&self, other: &Row, k: Rat) -> Row {
+        debug_assert!(k.signum() > 0);
+        let mut coeffs = self.coeffs.clone();
+        for (v, c) in &other.coeffs {
+            let e = coeffs.entry(v.clone()).or_insert(Rat::ZERO);
+            *e = *e + *c * k;
+            if e.is_zero() {
+                coeffs.remove(v);
+            }
+        }
+        coeffs.retain(|_, c| !c.is_zero());
+        let mut cert = self.cert.clone();
+        for (i, l) in &other.cert {
+            match cert.iter_mut().find(|(j, _)| j == i) {
+                Some((_, m)) => *m = *m + *l * k,
+                None => cert.push((*i, *l * k)),
+            }
+        }
+        cert.retain(|(_, l)| !l.is_zero());
+        Row {
+            coeffs,
+            cst: self.cst + other.cst * k,
+            cert,
+        }
+    }
+
+    /// Scales so coefficients are small-ish; certificates scale along.
+    fn normalize(&mut self) {
+        // Divide by the largest absolute coefficient magnitude if it exceeds
+        // 1, keeping exact rationals throughout.
+        let mut max = self.cst.abs();
+        for c in self.coeffs.values() {
+            if c.abs() > max {
+                max = c.abs();
+            }
+        }
+        if max > Rat::ONE {
+            let k = max.recip();
+            for c in self.coeffs.values_mut() {
+                *c = *c * k;
+            }
+            self.cst = self.cst * k;
+            for (_, l) in &mut self.cert {
+                *l = *l * k;
+            }
+        }
+    }
+
+    fn key(&self) -> (Vec<(Var, Rat)>, Rat) {
+        (
+            self.coeffs.iter().map(|(v, c)| (v.clone(), *c)).collect(),
+            self.cst,
+        )
+    }
+}
+
+/// Checks a conjunction of atoms over the **rationals**.
+pub fn rational_sat(atoms: &[Atom]) -> RatResult {
+    let mut rows = Vec::new();
+    for (i, a) in atoms.iter().enumerate() {
+        match a.rel() {
+            Rel::Le => rows.push(Row::from_atom(i, a, 1)),
+            Rel::Eq => {
+                rows.push(Row::from_atom(i, a, 1));
+                rows.push(Row::from_atom(i, a, -1));
+            }
+        }
+    }
+
+    let mut stages: Vec<(Var, Vec<Row>)> = Vec::new();
+
+    loop {
+        // Constant rows decide immediately; duplicate rows are dropped.
+        let mut seen = BTreeSet::new();
+        let mut next = Vec::new();
+        for r in rows {
+            if r.coeffs.is_empty() {
+                if r.cst.signum() > 0 {
+                    return RatResult::Unsat(r.cert);
+                }
+                continue;
+            }
+            if seen.insert(r.key()) {
+                next.push(r);
+            }
+        }
+        rows = next;
+
+        // Pick the variable whose elimination generates the fewest rows.
+        let mut best: Option<(Var, usize)> = None;
+        let vars: BTreeSet<Var> = rows
+            .iter()
+            .flat_map(|r| r.coeffs.keys().cloned())
+            .collect();
+        if vars.is_empty() {
+            break;
+        }
+        for v in vars {
+            let sign = |r: &Row| r.coeffs.get(&v).map_or(0, |c| c.signum());
+            let pos = rows.iter().filter(|r| sign(r) > 0).count();
+            let neg = rows.iter().filter(|r| sign(r) < 0).count();
+            let cost = pos * neg;
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((v, cost));
+            }
+        }
+        let (v, _) = best.expect("vars nonempty");
+
+        let (with_v, without_v): (Vec<Row>, Vec<Row>) =
+            rows.into_iter().partition(|r| r.coeffs.contains_key(&v));
+        let mut next = without_v;
+        let (pos, neg): (Vec<&Row>, Vec<&Row>) = {
+            let mut p = Vec::new();
+            let mut n = Vec::new();
+            for r in &with_v {
+                if r.coeffs[&v].signum() > 0 {
+                    p.push(r);
+                } else {
+                    n.push(r);
+                }
+            }
+            (p, n)
+        };
+        for p in &pos {
+            for n in &neg {
+                let a = p.coeffs[&v]; // > 0
+                let b = n.coeffs[&v]; // < 0
+                // p + n * (a / -b) eliminates v with a positive multiplier.
+                let mut r = p.combine(n, a / (-b));
+                debug_assert!(!r.coeffs.contains_key(&v));
+                r.normalize();
+                next.push(r);
+            }
+        }
+        stages.push((v, with_v));
+        rows = next;
+    }
+
+    // Satisfiable: rebuild a model stage by stage, last eliminated first.
+    let mut model: BTreeMap<Var, Rat> = BTreeMap::new();
+    for (v, stage_rows) in stages.iter().rev() {
+        let mut lo: Option<Rat> = None;
+        let mut hi: Option<Rat> = None;
+        for r in stage_rows {
+            let a = r.coeffs[v];
+            let mut rest = r.cst;
+            for (u, c) in &r.coeffs {
+                if u != v {
+                    rest = rest + *c * model.get(u).copied().unwrap_or(Rat::ZERO);
+                }
+            }
+            // a·v + rest <= 0
+            let bound = (-rest) / a;
+            if a.signum() > 0 {
+                hi = Some(match hi {
+                    Some(h) if h < bound => h,
+                    _ => bound,
+                });
+            } else {
+                lo = Some(match lo {
+                    Some(l) if l > bound => l,
+                    _ => bound,
+                });
+            }
+        }
+        let val = match (lo, hi) {
+            (None, None) => Rat::ZERO,
+            (Some(l), None) => Rat::int(l.ceil()),
+            (None, Some(h)) => Rat::int(h.floor()),
+            (Some(l), Some(h)) => {
+                debug_assert!(l <= h, "FM model bounds inverted");
+                // Prefer an integral point when one lies in the interval.
+                let c = Rat::int(l.ceil());
+                if c <= h {
+                    c
+                } else {
+                    (l + h) / Rat::int(2)
+                }
+            }
+        };
+        model.insert(v.clone(), val);
+    }
+    RatResult::Sat(model)
+}
+
+/// A gcd-based integer infeasibility test for equality atoms: `Σ cᵢxᵢ = -k`
+/// has no integer solution when `gcd(c̃) ∤ k`.
+fn gcd_cut_unsat(atoms: &[Atom]) -> bool {
+    atoms.iter().any(|a| {
+        if a.rel() != Rel::Eq {
+            return false;
+        }
+        let mut g: i128 = 0;
+        for (_, c) in a.lhs().iter() {
+            g = crate::rat::gcd(g, c);
+        }
+        g != 0 && a.lhs().constant_part() % g != 0
+    })
+}
+
+/// Checks a conjunction of atoms over the **integers** via branch & bound.
+pub fn int_sat(atoms: &[Atom], max_depth: u32) -> IntResult {
+    if gcd_cut_unsat(atoms) {
+        return IntResult::Unsat(None);
+    }
+    match rational_sat(atoms) {
+        RatResult::Unsat(cert) => IntResult::Unsat(Some(cert)),
+        RatResult::Sat(model) => {
+            match model.iter().find(|(_, r)| !r.is_integer()) {
+                None => IntResult::Sat(model.into_iter().map(|(v, r)| (v, r.num())).collect()),
+                Some((v, r)) if max_depth > 0 => {
+                    use crate::linexpr::LinExpr;
+                    let below = Atom::le(LinExpr::var(v.clone()), LinExpr::constant(r.floor()));
+                    let above = Atom::ge(LinExpr::var(v.clone()), LinExpr::constant(r.ceil()));
+                    let mut left = atoms.to_vec();
+                    left.push(below);
+                    match int_sat(&left, max_depth - 1) {
+                        IntResult::Sat(m) => IntResult::Sat(m),
+                        IntResult::Unknown => IntResult::Unknown,
+                        IntResult::Unsat(_) => {
+                            let mut right = atoms.to_vec();
+                            right.push(above);
+                            match int_sat(&right, max_depth - 1) {
+                                IntResult::Sat(m) => IntResult::Sat(m),
+                                IntResult::Unknown => IntResult::Unknown,
+                                // Both branches closed: integer-unsat, but the
+                                // refutation uses a cut, so no Farkas witness.
+                                IntResult::Unsat(_) => IntResult::Unsat(None),
+                            }
+                        }
+                    }
+                }
+                Some(_) => IntResult::Unknown,
+            }
+        }
+    }
+}
+
+/// Validates a Farkas certificate against the original atoms: the weighted sum
+/// must cancel every variable and leave a positive constant.
+pub fn check_certificate(atoms: &[Atom], cert: &FarkasCert) -> bool {
+    let mut coeffs: BTreeMap<Var, Rat> = BTreeMap::new();
+    let mut cst = Rat::ZERO;
+    for (i, l) in cert {
+        let Some(a) = atoms.get(*i) else {
+            return false;
+        };
+        if a.rel() == Rel::Le && l.signum() < 0 {
+            return false;
+        }
+        for (v, c) in a.lhs().iter() {
+            let e = coeffs.entry(v.clone()).or_insert(Rat::ZERO);
+            *e = *e + Rat::int(c) * *l;
+        }
+        cst = cst + Rat::int(a.lhs().constant_part()) * *l;
+    }
+    coeffs.values().all(|c| c.is_zero()) && cst.signum() > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+
+    fn x() -> LinExpr {
+        LinExpr::var("x")
+    }
+    fn y() -> LinExpr {
+        LinExpr::var("y")
+    }
+
+    #[test]
+    fn simple_sat() {
+        // x > 0 ∧ x < 10
+        let atoms = vec![
+            Atom::gt(x(), LinExpr::constant(0)),
+            Atom::lt(x(), LinExpr::constant(10)),
+        ];
+        match int_sat(&atoms, 16) {
+            IntResult::Sat(m) => {
+                let xv = m[&Var::new("x")];
+                assert!(xv > 0 && xv < 10);
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_unsat_with_certificate() {
+        // x > 0 ∧ x + 1 <= 0 — the paper's intro example condition.
+        let atoms = vec![
+            Atom::gt(x(), LinExpr::constant(0)),
+            Atom::le(x() + LinExpr::constant(1), LinExpr::constant(0)),
+        ];
+        match int_sat(&atoms, 16) {
+            IntResult::Unsat(Some(cert)) => assert!(check_certificate(&atoms, &cert)),
+            other => panic!("expected certified Unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_chains() {
+        // x = y ∧ y = 3 ∧ x <= 2 is unsat.
+        let atoms = vec![
+            Atom::eq(x(), y()),
+            Atom::eq(y(), LinExpr::constant(3)),
+            Atom::le(x(), LinExpr::constant(2)),
+        ];
+        match int_sat(&atoms, 16) {
+            IntResult::Unsat(Some(cert)) => assert!(check_certificate(&atoms, &cert)),
+            other => panic!("expected certified Unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parity_gcd_cut() {
+        // 2x = 2y + 1 has rational solutions but no integer ones.
+        let atoms = vec![Atom::eq(x() * 2, y() * 2 + LinExpr::constant(1))];
+        match int_sat(&atoms, 16) {
+            IntResult::Unsat(None) => {}
+            other => panic!("expected gcd-cut Unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_finds_integer_point() {
+        // 2x >= 1 ∧ 2x <= 3 has the integer solution x = 1 only.
+        let atoms = vec![
+            Atom::ge(x() * 2, LinExpr::constant(1)),
+            Atom::le(x() * 2, LinExpr::constant(3)),
+        ];
+        match int_sat(&atoms, 16) {
+            IntResult::Sat(m) => assert_eq!(m[&Var::new("x")], 1),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_system_is_sat() {
+        // x <= y with both unbounded.
+        let atoms = vec![Atom::le(x(), y())];
+        match int_sat(&atoms, 16) {
+            IntResult::Sat(m) => {
+                let xv = m.get(&Var::new("x")).copied().unwrap_or(0);
+                let yv = m.get(&Var::new("y")).copied().unwrap_or(0);
+                assert!(xv <= yv);
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_satisfies_all_atoms() {
+        let atoms = vec![
+            Atom::ge(x() + y(), LinExpr::constant(5)),
+            Atom::le(x() - y(), LinExpr::constant(1)),
+            Atom::le(x(), LinExpr::constant(100)),
+            Atom::ge(y(), LinExpr::constant(-7)),
+        ];
+        match int_sat(&atoms, 32) {
+            IntResult::Sat(m) => {
+                let env = |v: &Var| m.get(v).copied().or(Some(0));
+                for a in &atoms {
+                    assert_eq!(a.eval(&env), Some(true), "violated: {a}");
+                }
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Craig interpolation for QF_LIA, replacing CSIsat in the paper's pipeline.
+//!
+//! Given `A ∧ B` unsatisfiable, [`interpolate`] computes a formula `I` with
+//! `A ⇒ I`, `I ∧ B` unsatisfiable, and `vars(I) ⊆ vars(A) ∩ vars(B)`.
+//!
+//! Strategy: both sides are put in DNF; each cube pair is interpolated from
+//! the Farkas certificate of its rational refutation (the weighted sum of the
+//! A-side rows is an interpolant), with a recursive integer branch split when
+//! the pair is only integer-unsatisfiable. Cube interpolants are recombined
+//! as `⋁ᵢ ⋀ⱼ I(aᵢ, bⱼ)`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::fm::{int_sat, rational_sat, FarkasCert, IntResult, RatResult};
+use crate::formula::{Formula, Literal};
+use crate::linexpr::{Atom, LinExpr, Rel, Var};
+use crate::rat::Rat;
+
+/// Why interpolation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterpError {
+    /// `A ∧ B` turned out to be satisfiable (or could not be refuted within
+    /// the integer split budget).
+    NotRefutable,
+    /// The DNF of one side exceeded the cube limit.
+    TooLarge,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::NotRefutable => write!(f, "A && B is not refutable"),
+            InterpError::TooLarge => write!(f, "DNF cube limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Options bounding the interpolation search.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpOptions {
+    /// Maximum number of DNF cubes per side.
+    pub dnf_limit: usize,
+    /// Maximum recursion depth for integer branch splits.
+    pub split_depth: u32,
+}
+
+impl Default for InterpOptions {
+    fn default() -> InterpOptions {
+        InterpOptions {
+            dnf_limit: 512,
+            split_depth: 24,
+        }
+    }
+}
+
+/// Computes a Craig interpolant for the unsatisfiable pair `(a, b)`.
+pub fn interpolate(a: &Formula, b: &Formula) -> Result<Formula, InterpError> {
+    interpolate_with(a, b, InterpOptions::default())
+}
+
+/// [`interpolate`] with explicit limits.
+pub fn interpolate_with(
+    a: &Formula,
+    b: &Formula,
+    opts: InterpOptions,
+) -> Result<Formula, InterpError> {
+    let a_cubes = a.dnf(opts.dnf_limit).ok_or(InterpError::TooLarge)?;
+    let b_cubes = b.dnf(opts.dnf_limit).ok_or(InterpError::TooLarge)?;
+    // A ≡ false: interpolant false. B ≡ false: interpolant true.
+    if a_cubes.is_empty() {
+        return Ok(Formula::False);
+    }
+    if b_cubes.is_empty() {
+        return Ok(Formula::True);
+    }
+    let mut disjuncts = Vec::new();
+    for ac in &a_cubes {
+        let mut conjuncts = Vec::new();
+        for bc in &b_cubes {
+            conjuncts.push(cube_interpolant(ac, bc, opts)?);
+        }
+        disjuncts.push(Formula::and(conjuncts));
+    }
+    Ok(Formula::or(disjuncts))
+}
+
+fn split_literals(cube: &[Literal]) -> (Vec<Atom>, Vec<(Var, bool)>) {
+    let mut atoms = Vec::new();
+    let mut bools = Vec::new();
+    for l in cube {
+        match l {
+            Literal::Arith(a) => atoms.push(a.clone()),
+            Literal::Bool(v, p) => bools.push((v.clone(), *p)),
+        }
+    }
+    (atoms, bools)
+}
+
+fn bool_conflict(bools: &[(Var, bool)]) -> bool {
+    bools
+        .iter()
+        .any(|(v, p)| bools.iter().any(|(u, q)| u == v && p != q))
+}
+
+fn cube_interpolant(
+    a_cube: &[Literal],
+    b_cube: &[Literal],
+    opts: InterpOptions,
+) -> Result<Formula, InterpError> {
+    let (a_atoms, a_bools) = split_literals(a_cube);
+    let (b_atoms, b_bools) = split_literals(b_cube);
+
+    // 1. A-cube inconsistent on its own → false is an interpolant.
+    if bool_conflict(&a_bools) {
+        return Ok(Formula::False);
+    }
+    if matches!(int_sat(&a_atoms, opts.split_depth), IntResult::Unsat(_)) {
+        return Ok(Formula::False);
+    }
+    // 2. B-cube inconsistent on its own → true is an interpolant.
+    if bool_conflict(&b_bools) {
+        return Ok(Formula::True);
+    }
+    if matches!(int_sat(&b_atoms, opts.split_depth), IntResult::Unsat(_)) {
+        return Ok(Formula::True);
+    }
+    // 3. Propositional conflict across the cut: the shared literal itself.
+    for (v, p) in &a_bools {
+        if b_bools.iter().any(|(u, q)| u == v && p != q) {
+            let lit = Formula::BVar(v.clone());
+            return Ok(if *p { lit } else { Formula::not(lit) });
+        }
+    }
+    // 4. Arithmetic conflict across the cut.
+    arith_interpolant(&a_atoms, &b_atoms, opts.split_depth)
+}
+
+/// Interpolates two conjunctions of arithmetic atoms, splitting on fractional
+/// variables when only integer reasoning refutes the pair.
+fn arith_interpolant(
+    a_atoms: &[Atom],
+    b_atoms: &[Atom],
+    depth: u32,
+) -> Result<Formula, InterpError> {
+    let mut all = a_atoms.to_vec();
+    all.extend(b_atoms.iter().cloned());
+    match rational_sat(&all) {
+        RatResult::Unsat(cert) => Ok(farkas_interpolant(&all, a_atoms.len(), &cert)),
+        RatResult::Sat(model) => {
+            if depth == 0 {
+                return Err(InterpError::NotRefutable);
+            }
+            let frac = model.iter().find(|(_, r)| !r.is_integer());
+            let Some((v, r)) = frac else {
+                // A genuine integer model: not refutable at all.
+                return Err(InterpError::NotRefutable);
+            };
+            let below = Atom::le(LinExpr::var(v.clone()), LinExpr::constant(r.floor()));
+            let above = Atom::ge(LinExpr::var(v.clone()), LinExpr::constant(r.ceil()));
+            let in_a = a_atoms.iter().any(|a| a.lhs().coeff(v) != 0);
+            let in_b = b_atoms.iter().any(|a| a.lhs().coeff(v) != 0);
+            let with = |side: &[Atom], extra: &Atom| {
+                let mut s = side.to_vec();
+                s.push(extra.clone());
+                s
+            };
+            match (in_a, in_b) {
+                (true, false) => {
+                    // Split inside A: A ⇒ (A ∧ v≤⌊r⌋) ∨ (A ∧ v≥⌈r⌉).
+                    let i1 = arith_interpolant(&with(a_atoms, &below), b_atoms, depth - 1)?;
+                    let i2 = arith_interpolant(&with(a_atoms, &above), b_atoms, depth - 1)?;
+                    Ok(Formula::or2(i1, i2))
+                }
+                (false, true) => {
+                    let i1 = arith_interpolant(a_atoms, &with(b_atoms, &below), depth - 1)?;
+                    let i2 = arith_interpolant(a_atoms, &with(b_atoms, &above), depth - 1)?;
+                    Ok(Formula::and2(i1, i2))
+                }
+                _ => {
+                    // Shared (or phantom) variable: the split literal may
+                    // appear in the interpolant.
+                    let i1 = arith_interpolant(&with(a_atoms, &below), b_atoms, depth - 1)?;
+                    let i2 = arith_interpolant(&with(a_atoms, &above), b_atoms, depth - 1)?;
+                    Ok(Formula::or2(
+                        Formula::and2(Formula::atom(below), i1),
+                        Formula::and2(Formula::atom(above), i2),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Builds the interpolant `Σ_{i<a_len} λᵢ·lhsᵢ <= 0` from a Farkas
+/// certificate over the concatenated atom list.
+fn farkas_interpolant(atoms: &[Atom], a_len: usize, cert: &FarkasCert) -> Formula {
+    let mut sum_num = LinExpr::zero();
+    // Scale all A-side multipliers to a common integer grid.
+    let mut denom_lcm: i128 = 1;
+    for (i, l) in cert {
+        if *i < a_len && !l.is_zero() {
+            let d = l.den();
+            denom_lcm = denom_lcm / crate::rat::gcd(denom_lcm, d) * d;
+        }
+    }
+    for (i, l) in cert {
+        if *i >= a_len || l.is_zero() {
+            continue;
+        }
+        let scaled = *l * Rat::int(denom_lcm);
+        debug_assert!(scaled.is_integer());
+        debug_assert!(
+            atoms[*i].rel() == Rel::Eq || scaled.signum() >= 0,
+            "negative multiplier on an inequality"
+        );
+        sum_num = sum_num + atoms[*i].lhs().clone() * scaled.num();
+    }
+    Formula::atom(Atom::le0(sum_num))
+}
+
+/// Checks the defining properties of an interpolant (for tests/debugging):
+/// `A ⇒ I`, `I ∧ B` unsat, and `vars(I) ⊆ vars(A) ∩ vars(B)`.
+pub fn is_interpolant(a: &Formula, b: &Formula, i: &Formula) -> bool {
+    let solver = crate::solver::SmtSolver::new();
+    let shared: BTreeSet<Var> = a.vars().intersection(&b.vars()).cloned().collect();
+    i.vars().is_subset(&shared)
+        && solver.entails(a, i)
+        && !solver.maybe_sat(&Formula::and2(i.clone(), b.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> LinExpr {
+        LinExpr::var("x")
+    }
+    fn n() -> LinExpr {
+        LinExpr::var("n")
+    }
+    fn y() -> LinExpr {
+        LinExpr::var("y")
+    }
+
+    #[test]
+    fn paper_intro_interpolant() {
+        // §1: from n > 0 (A) and n + 1 <= 0 (B) we should learn something
+        // like n > 0 — the predicate the paper's CEGAR discovers.
+        let a = Formula::atom(Atom::gt(n(), LinExpr::constant(0)));
+        let b = Formula::atom(Atom::le(n() + LinExpr::constant(1), LinExpr::constant(0)));
+        let i = interpolate(&a, &b).expect("refutable");
+        assert!(is_interpolant(&a, &b, &i), "bad interpolant: {i}");
+    }
+
+    #[test]
+    fn locals_are_projected_out() {
+        // A: x = y + 1 ∧ y >= 0   B: x <= 0, shared = {x}.
+        let a = Formula::and2(
+            Formula::atom(Atom::eq(x(), y() + LinExpr::constant(1))),
+            Formula::atom(Atom::ge(y(), LinExpr::constant(0))),
+        );
+        let b = Formula::atom(Atom::le(x(), LinExpr::constant(0)));
+        let i = interpolate(&a, &b).expect("refutable");
+        assert!(is_interpolant(&a, &b, &i), "bad interpolant: {i}");
+        assert!(i.vars().iter().all(|v| v.name() == "x"));
+    }
+
+    #[test]
+    fn disjunctive_a_side() {
+        // A: x >= 5 ∨ x >= 10   B: x <= 0.
+        let a = Formula::or2(
+            Formula::atom(Atom::ge(x(), LinExpr::constant(5))),
+            Formula::atom(Atom::ge(x(), LinExpr::constant(10))),
+        );
+        let b = Formula::atom(Atom::le(x(), LinExpr::constant(0)));
+        let i = interpolate(&a, &b).expect("refutable");
+        assert!(is_interpolant(&a, &b, &i), "bad interpolant: {i}");
+    }
+
+    #[test]
+    fn boolean_conflict_interpolant() {
+        let p = || Formula::BVar(Var::new("p"));
+        let a = p();
+        let b = Formula::not(p());
+        let i = interpolate(&a, &b).expect("refutable");
+        assert!(is_interpolant(&a, &b, &i), "bad interpolant: {i}");
+    }
+
+    #[test]
+    fn integer_split_interpolant() {
+        // A: 2x <= y ∧ y <= 1   B: x >= 1 ∧ y >= 2x - 1... craft an
+        // integer-only conflict: A: y = 2x, B: y = 2z + 1 ∧ y = x... keep it
+        // simple: A: 2x - y = 0, B: 2*w - y + 1 = 0 with shared y only —
+        // unsat over Z (y both even and odd) but sat over Q.
+        let w = LinExpr::var("w");
+        let a = Formula::atom(Atom::eq(x() * 2, y()));
+        let b = Formula::atom(Atom::eq(w * 2 + LinExpr::constant(1), y()));
+        match interpolate(&a, &b) {
+            Ok(i) => assert!(is_interpolant(&a, &b, &i), "bad interpolant: {i}"),
+            // Parity conflicts need divisibility predicates, which plain
+            // branch splits cannot always express; NotRefutable is an
+            // acceptable (documented) incompleteness here — but the split
+            // search must not claim a wrong interpolant.
+            Err(InterpError::NotRefutable) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn satisfiable_pair_is_rejected() {
+        let a = Formula::atom(Atom::ge(x(), LinExpr::constant(0)));
+        let b = Formula::atom(Atom::le(x(), LinExpr::constant(10)));
+        assert_eq!(interpolate(&a, &b), Err(InterpError::NotRefutable));
+    }
+
+    #[test]
+    fn example_5_2_style_constraint() {
+        // From the paper's Example 5.2 (program M3): the final constraint is
+        //   P3(z) ∧ P4(y,z) ⇒ y > z
+        // and solving backwards interpolates
+        //   A: x' = x + 1   (the body of f passes x+1 to g)
+        //   B: ¬(x' > x)    (the assertion y > z fails)
+        // Expected interpolant: x' > x (modulo equivalent forms).
+        let xp = LinExpr::var("xp");
+        let a = Formula::atom(Atom::eq(xp.clone(), x() + LinExpr::constant(1)));
+        let b = Formula::atom(Atom::le(xp, x()));
+        let i = interpolate(&a, &b).expect("refutable");
+        assert!(is_interpolant(&a, &b, &i), "bad interpolant: {i}");
+    }
+}

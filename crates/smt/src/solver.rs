@@ -1,0 +1,301 @@
+//! A small DPLL(T)-style satisfiability solver for [`Formula`]s.
+//!
+//! The search walks the negation normal form, branching on disjunctions and
+//! accumulating an implicant (a set of arithmetic atoms plus boolean
+//! literals). Arithmetic consistency is checked incrementally with the
+//! rational relaxation (any rational-unsat prefix prunes the branch) and at
+//! the leaves with full integer branch & bound. This is the role CVC3 plays in
+//! the paper's implementation (§6).
+
+use std::collections::BTreeMap;
+
+use crate::fm::{int_sat, rational_sat, IntResult, RatResult};
+use crate::formula::Formula;
+use crate::linexpr::{Atom, Var};
+
+/// A satisfying assignment. Variables absent from the maps are unconstrained
+/// (any value works); the accessors default them to `0` / `false`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    ints: BTreeMap<Var, i128>,
+    bools: BTreeMap<Var, bool>,
+}
+
+impl Model {
+    /// Creates a model from explicit assignments.
+    pub fn new(ints: BTreeMap<Var, i128>, bools: BTreeMap<Var, bool>) -> Model {
+        Model { ints, bools }
+    }
+
+    /// The integer value of `v` (0 when unconstrained).
+    pub fn int(&self, v: &Var) -> i128 {
+        self.ints.get(v).copied().unwrap_or(0)
+    }
+
+    /// The boolean value of `v` (`false` when unconstrained).
+    pub fn bool(&self, v: &Var) -> bool {
+        self.bools.get(v).copied().unwrap_or(false)
+    }
+
+    /// Evaluates a formula under this model (unbound variables default).
+    pub fn eval(&self, f: &Formula) -> bool {
+        f.eval(&|v| Some(self.int(v)), &|v| Some(self.bool(v)))
+            .expect("defaulted evaluation is total")
+    }
+}
+
+/// The outcome of a satisfiability check.
+#[derive(Clone, Debug)]
+pub enum SatResult {
+    /// A model was found.
+    Sat(Model),
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The integer branch & bound limit was exhausted somewhere.
+    Unknown,
+}
+
+impl SatResult {
+    /// `true` iff the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// The QF_LIA + booleans solver, with tunable search limits.
+#[derive(Clone, Debug)]
+pub struct SmtSolver {
+    /// Maximum branch & bound depth for integer reasoning.
+    pub bb_depth: u32,
+}
+
+impl Default for SmtSolver {
+    fn default() -> SmtSolver {
+        SmtSolver { bb_depth: 48 }
+    }
+}
+
+impl SmtSolver {
+    /// Creates a solver with default limits.
+    pub fn new() -> SmtSolver {
+        SmtSolver::default()
+    }
+
+    /// Checks satisfiability of `f` over the integers.
+    pub fn check(&self, f: &Formula) -> SatResult {
+        let nnf = f.nnf();
+        let mut unknown = false;
+        let res = self.search(
+            &mut vec![nnf],
+            &mut Vec::new(),
+            &mut BTreeMap::new(),
+            &mut unknown,
+        );
+        match res {
+            Some(m) => SatResult::Sat(m),
+            None if unknown => SatResult::Unknown,
+            None => SatResult::Unsat,
+        }
+    }
+
+    /// `true` iff `f` holds for all integer/boolean assignments.
+    ///
+    /// Conservative: an `Unknown` refutation attempt reports "not valid".
+    pub fn is_valid(&self, f: &Formula) -> bool {
+        matches!(self.check(&Formula::not(f.clone())), SatResult::Unsat)
+    }
+
+    /// `true` iff `a → b` is valid. Conservative under `Unknown`.
+    pub fn entails(&self, a: &Formula, b: &Formula) -> bool {
+        self.is_valid(&Formula::implies(a.clone(), b.clone()))
+    }
+
+    /// `true` iff `f` is satisfiable; `Unknown` counts as satisfiable
+    /// (the safe direction for feasibility checking).
+    pub fn maybe_sat(&self, f: &Formula) -> bool {
+        !matches!(self.check(f), SatResult::Unsat)
+    }
+
+    /// Depth-first implicant search. `goals` is a stack of NNF subformulas
+    /// still to satisfy; `atoms`/`bools` is the current partial implicant.
+    ///
+    /// Invariant: every call returns `goals`, `atoms` and `bools` exactly as
+    /// it found them, so disjunction branches can backtrack freely.
+    fn search(
+        &self,
+        goals: &mut Vec<Formula>,
+        atoms: &mut Vec<Atom>,
+        bools: &mut BTreeMap<Var, bool>,
+        unknown: &mut bool,
+    ) -> Option<Model> {
+        let Some(goal) = goals.pop() else {
+            // Implicant complete: final integer check.
+            return match int_sat(atoms, self.bb_depth) {
+                IntResult::Sat(ints) => Some(Model::new(ints, bools.clone())),
+                IntResult::Unsat(_) => None,
+                IntResult::Unknown => {
+                    *unknown = true;
+                    None
+                }
+            };
+        };
+        let result = match &goal {
+            Formula::True => self.search(goals, atoms, bools, unknown),
+            Formula::False => None,
+            Formula::Atom(a) => {
+                atoms.push(a.clone());
+                // Prune rational-unsat prefixes early; rational unsat implies
+                // integer unsat, so this never loses models.
+                let ok = matches!(rational_sat(atoms), RatResult::Sat(_));
+                let r = if ok {
+                    self.search(goals, atoms, bools, unknown)
+                } else {
+                    None
+                };
+                atoms.pop();
+                r
+            }
+            Formula::BVar(v) => self.assign_bool(v.clone(), true, goals, atoms, bools, unknown),
+            Formula::Not(inner) => match inner.as_ref() {
+                Formula::BVar(v) => {
+                    self.assign_bool(v.clone(), false, goals, atoms, bools, unknown)
+                }
+                other => unreachable!("NNF invariant violated: Not({other:?})"),
+            },
+            Formula::And(fs) => {
+                for f in fs.iter().rev() {
+                    goals.push(f.clone());
+                }
+                let r = self.search(goals, atoms, bools, unknown);
+                goals.truncate(goals.len() - fs.len());
+                r
+            }
+            Formula::Or(fs) => {
+                let mut found = None;
+                for f in fs {
+                    goals.push(f.clone());
+                    found = self.search(goals, atoms, bools, unknown);
+                    goals.pop();
+                    if found.is_some() {
+                        break;
+                    }
+                }
+                found
+            }
+        };
+        goals.push(goal);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assign_bool(
+        &self,
+        v: Var,
+        val: bool,
+        goals: &mut Vec<Formula>,
+        atoms: &mut Vec<Atom>,
+        bools: &mut BTreeMap<Var, bool>,
+        unknown: &mut bool,
+    ) -> Option<Model> {
+        match bools.get(&v) {
+            Some(&prev) if prev != val => None,
+            Some(_) => self.search(goals, atoms, bools, unknown),
+            None => {
+                bools.insert(v.clone(), val);
+                let r = self.search(goals, atoms, bools, unknown);
+                bools.remove(&v);
+                r
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+
+    fn x() -> LinExpr {
+        LinExpr::var("x")
+    }
+    fn y() -> LinExpr {
+        LinExpr::var("y")
+    }
+    fn solver() -> SmtSolver {
+        SmtSolver::new()
+    }
+
+    #[test]
+    fn sat_model_satisfies_formula() {
+        // (x > 0 || b) && x + y = 10 && y > 8
+        let f = Formula::and(vec![
+            Formula::or2(
+                Formula::atom(Atom::gt(x(), LinExpr::constant(0))),
+                Formula::BVar(Var::new("b")),
+            ),
+            Formula::atom(Atom::eq(x() + y(), LinExpr::constant(10))),
+            Formula::atom(Atom::gt(y(), LinExpr::constant(8))),
+        ]);
+        match solver().check(&f) {
+            SatResult::Sat(m) => assert!(m.eval(&f)),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_intro_refutation() {
+        // n > 0 ∧ n + 1 <= 0 — the infeasible path condition from §1.
+        let n = LinExpr::var("n");
+        let f = Formula::and2(
+            Formula::atom(Atom::gt(n.clone(), LinExpr::constant(0))),
+            Formula::atom(Atom::le(n + LinExpr::constant(1), LinExpr::constant(0))),
+        );
+        assert!(matches!(solver().check(&f), SatResult::Unsat));
+    }
+
+    #[test]
+    fn validity_of_abstraction_condition() {
+        // ⊨ x = 0 → ¬(x = 0 ↔ x + 1 = 0) — the Example 4.1 side condition
+        // P(y₁) ⇒ σ(φ₁) with P = (λν. ν >= 0) style checks reduce to this
+        // shape; here a simpler instance: x >= 0 → x + 1 >= 1.
+        let f = Formula::implies(
+            Formula::atom(Atom::ge(x(), LinExpr::constant(0))),
+            Formula::atom(Atom::ge(x() + LinExpr::constant(1), LinExpr::constant(1))),
+        );
+        assert!(solver().is_valid(&f));
+    }
+
+    #[test]
+    fn invalid_implication_rejected() {
+        let f = Formula::implies(
+            Formula::atom(Atom::ge(x(), LinExpr::constant(0))),
+            Formula::atom(Atom::gt(x(), LinExpr::constant(0))),
+        );
+        assert!(!solver().is_valid(&f));
+    }
+
+    #[test]
+    fn boolean_conflict() {
+        let b = || Formula::BVar(Var::new("b"));
+        let f = Formula::and2(b(), Formula::not(b()));
+        assert!(matches!(solver().check(&f), SatResult::Unsat));
+    }
+
+    #[test]
+    fn disequality_splits() {
+        // x != x is unsat; x != y is sat.
+        let f = Formula::int_ne(x(), x());
+        assert!(matches!(solver().check(&f), SatResult::Unsat));
+        let g = Formula::int_ne(x(), y());
+        assert!(solver().check(&g).is_sat());
+    }
+
+    #[test]
+    fn entailment() {
+        let s = solver();
+        let a = Formula::atom(Atom::gt(x(), LinExpr::constant(5)));
+        let b = Formula::atom(Atom::gt(x(), LinExpr::constant(0)));
+        assert!(s.entails(&a, &b));
+        assert!(!s.entails(&b, &a));
+    }
+}

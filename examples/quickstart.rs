@@ -1,0 +1,53 @@
+//! Quickstart: verify the paper's introductory example end-to-end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The program is M1 from §1 of Kobayashi–Sato–Unno (PLDI 2011): a
+//! higher-order function `f` passes `x + 1` to an unknown continuation `g`;
+//! the assertion inside `h` holds only because `k` guards the call with
+//! `n > 0`. Proving this automatically needs (a) predicate discovery —
+//! nothing is known about `ν > 0` up front — and (b) higher-order model
+//! checking, because the predicate flows through the function argument `g`.
+
+use homc::{verify, Verdict, VerifierOptions};
+
+fn main() {
+    let program = "
+        let f x g = g (x + 1) in
+        let h y = assert (y > 0) in
+        let k n = if n > 0 then f n h else () in
+        k m";
+
+    println!("verifying M1 (the paper's §1 example):\n{program}\n");
+    let outcome = verify(program, &VerifierOptions::default()).expect("verification runs");
+    println!(
+        "verdict: {}   (CEGAR cycles: {}, predicates: {}, {:.3}s)",
+        outcome.verdict,
+        outcome.stats.cycles,
+        outcome.stats.predicates,
+        outcome.stats.total.as_secs_f64(),
+    );
+    assert_eq!(outcome.verdict, Verdict::Safe);
+
+    // Now a buggy variant: the guard is gone, so some `m` breaks the
+    // assertion. The verifier returns a concrete witness.
+    let buggy = "
+        let f x g = g (x + 1) in
+        let h y = assert (y > 0) in
+        let k n = f n h in
+        k m";
+    println!("\nverifying the unguarded variant:");
+    let outcome = verify(buggy, &VerifierOptions::default()).expect("verification runs");
+    match &outcome.verdict {
+        Verdict::Unsafe { witness, path } => {
+            println!(
+                "verdict: unsafe — fails when m = {} (error path labels: {:?})",
+                witness[0], path
+            );
+            assert!(witness[0] + 1 <= 0, "witness must break y > 0");
+        }
+        other => panic!("expected a counterexample, got {other}"),
+    }
+}

@@ -1,0 +1,83 @@
+//! Differential testing of the two model-checking engines.
+//!
+//! The precise direct checker (`homc-hbp`) and the recursion-scheme control
+//! skeleton (`homc-hors`) are related by a sound over-approximation:
+//!
+//! * skeleton fail-free ⇒ boolean program cannot fail;
+//! * boolean program may fail ⇒ skeleton contains `fail`.
+//!
+//! We check both directions of the implication on the abstractions of the
+//! whole Table 1 suite, at several refinement stages.
+
+use homc_abs::{abstract_program, AbsEnv, AbsOptions};
+use homc_cegar::{build_trace, refine_env, RefineOptions, TraceEnd};
+use homc_hbp::check::{model_check, CheckLimits};
+use homc_hbp::{find_error_path, source_labels, Checker};
+use homc_hors::{rejected, skeleton, TrivialAutomaton};
+use homc_lang::frontend;
+use homc_smt::SmtSolver;
+
+fn cross_validate(name: &str, bp: &homc_hbp::BProgram) {
+    let (precise_fails, _) = match model_check(bp, CheckLimits::default()) {
+        Ok(r) => r,
+        Err(_) => return, // budget: nothing to compare
+    };
+    let h = skeleton(bp);
+    h.check().unwrap_or_else(|e| panic!("{name}: skeleton kinds: {e}"));
+    let automaton = TrivialAutomaton::fail_free(&h, &["fail"]);
+    let skeleton_fails = rejected(&h, &automaton).expect("scheme checking");
+    assert!(
+        !precise_fails || skeleton_fails,
+        "{name}: the direct checker found a failure the skeleton misses — \
+         the over-approximation is broken"
+    );
+    // Contrapositive (same fact, asserted in the form the verifier uses).
+    if !skeleton_fails {
+        assert!(
+            !precise_fails,
+            "{name}: skeleton fail-free must imply boolean-program safety"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_suite_abstractions() {
+    for p in homc::suite::SUITE {
+        let compiled = match frontend(p.source) {
+            Ok(c) => c,
+            Err(e) => panic!("{}: {e}", p.name),
+        };
+        let mut env = AbsEnv::initial(&compiled.cps);
+        let solver = SmtSolver::new();
+        // Stage 0: the initial (coarsest) abstraction.
+        let (bp, _) = abstract_program(&compiled.cps, &env, &AbsOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        cross_validate(p.name, &bp);
+
+        // Stage 1: after one refinement round (when one exists).
+        let Ok(mut checker) = Checker::new(&bp, CheckLimits::default()) else {
+            continue;
+        };
+        if checker.saturate().is_err() || !checker.may_fail() {
+            continue;
+        }
+        let Ok(Some(path)) = find_error_path(&mut checker) else {
+            continue;
+        };
+        let labels = source_labels(&path);
+        let Ok(trace) = build_trace(&compiled.cps, &labels, 200_000) else {
+            continue;
+        };
+        if trace.end != TraceEnd::ReachedFail {
+            continue;
+        }
+        if refine_env(&compiled.cps, &trace, &mut env, &solver, &RefineOptions::default())
+            .is_err()
+        {
+            continue;
+        }
+        if let Ok((bp1, _)) = abstract_program(&compiled.cps, &env, &AbsOptions::default()) {
+            cross_validate(p.name, &bp1);
+        }
+    }
+}

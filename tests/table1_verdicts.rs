@@ -1,0 +1,136 @@
+//! Integration test: every Table 1 program gets the paper's verdict.
+//!
+//! This is the headline reproduction check — each of the 28 benchmark
+//! programs must verify (safe), be rejected with a genuine counterexample
+//! (unsafe), or — for `apply` — at least never be rejected (the paper's
+//! tool diverges; ours verifies it thanks to systematic ghost parameters).
+
+use homc::{suite, verify, Expected, Verdict, VerifierOptions};
+
+fn check(program: &suite::SuiteProgram) {
+    let out = verify(program.source, &VerifierOptions::default())
+        .unwrap_or_else(|e| panic!("{}: hard error {e}", program.name));
+    match program.expected {
+        Expected::Safe => assert!(
+            out.verdict.is_safe(),
+            "{} must be safe, got {}",
+            program.name,
+            out.verdict
+        ),
+        Expected::Unsafe => match &out.verdict {
+            Verdict::Unsafe { witness, path } => {
+                // The witness must be a *real* counterexample: replay it
+                // concretely and observe the failure.
+                let compiled = homc_lang::frontend(program.source).expect("compiles");
+                let mut driver = homc_lang::eval::ScriptDriver::new(
+                    path.clone(),
+                    witness.iter().copied().collect(),
+                );
+                let (outcome, _) = homc_lang::eval::run(&compiled.cps, &mut driver, 1_000_000);
+                assert!(
+                    outcome.is_fail(),
+                    "{}: witness {witness:?} with path {path:?} does not replay to fail \
+                     (got {outcome:?})",
+                    program.name
+                );
+            }
+            other => panic!("{} must be unsafe, got {other}", program.name),
+        },
+        Expected::Diverges => assert!(
+            !out.verdict.is_unsafe(),
+            "{} must not be rejected, got {}",
+            program.name,
+            out.verdict
+        ),
+    }
+    // The order metric must match the paper's column O.
+    assert_eq!(
+        out.order, program.paper_order,
+        "{}: order mismatch",
+        program.name
+    );
+}
+
+macro_rules! suite_test {
+    ($($name:ident),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                let key = stringify!($name).replace('_', "-");
+                let p = suite::find(&key)
+                    .or_else(|| suite::find(&key.replace('-', "")))
+                    .unwrap_or_else(|| panic!("no suite program {key}"));
+                check(p);
+            }
+        )*
+    };
+}
+
+suite_test!(
+    intro1, intro2, intro3, sum, mult, max, mc91, ack, repeat, fhnhn, hrec, neg, apply, hors,
+);
+
+#[test]
+fn a_prod() {
+    check(suite::find("a-prod").expect("present"));
+}
+#[test]
+fn a_cppr() {
+    check(suite::find("a-cppr").expect("present"));
+}
+#[test]
+fn a_init() {
+    check(suite::find("a-init").expect("present"));
+}
+#[test]
+fn a_max() {
+    check(suite::find("a-max").expect("present"));
+}
+#[test]
+fn l_zipunzip() {
+    check(suite::find("l-zipunzip").expect("present"));
+}
+#[test]
+fn l_zipmap() {
+    check(suite::find("l-zipmap").expect("present"));
+}
+#[test]
+fn e_simple() {
+    check(suite::find("e-simple").expect("present"));
+}
+#[test]
+fn e_fact() {
+    check(suite::find("e-fact").expect("present"));
+}
+#[test]
+fn r_lock() {
+    check(suite::find("r-lock").expect("present"));
+}
+#[test]
+fn r_file() {
+    check(suite::find("r-file").expect("present"));
+}
+#[test]
+fn sum_e() {
+    check(suite::find("sum-e").expect("present"));
+}
+#[test]
+fn mult_e() {
+    check(suite::find("mult-e").expect("present"));
+}
+#[test]
+fn mc91_e() {
+    check(suite::find("mc91-e").expect("present"));
+}
+#[test]
+fn repeat_e() {
+    check(suite::find("repeat-e").expect("present"));
+}
+#[test]
+fn a_max_e() {
+    check(suite::find("a-max-e").expect("present"));
+}
+#[test]
+fn r_lock_e() {
+    check(suite::find("r-lock-e").expect("present"));
+}

@@ -1,0 +1,178 @@
+//! Executable checks of the paper's theorems on concrete instances.
+
+use homc_abs::{abstract_program, AbsEnv, AbsOptions};
+use homc_cegar::{build_trace, refine_env, Feasibility, RefineOptions, TraceEnd};
+use homc_hbp::check::{CheckLimits, Checker};
+use homc_hbp::{find_error_path, source_labels};
+use homc_lang::eval::Label;
+use homc_lang::frontend;
+use homc_smt::SmtSolver;
+
+const M1: &str = "let f x g = g (x + 1) in
+                  let h y = assert (y > 0) in
+                  let k n = if n > 0 then f n h else () in
+                  k m";
+
+/// Theorem 3.1 (decidability): saturation terminates even on abstract
+/// programs with unboundedly nested closures (`hrec`).
+#[test]
+fn thm_3_1_decidability_on_hrec() {
+    let src = "let succ x = x + 1 in
+               let rec f g x = if x >= 0 then g x else f (f g) (g x) in
+               assert (f succ n >= 0)";
+    let compiled = frontend(src).expect("compiles");
+    let env = AbsEnv::initial(&compiled.cps);
+    let (bp, _) = abstract_program(&compiled.cps, &env, &AbsOptions::default()).expect("abstracts");
+    let mut checker = Checker::new(&bp, CheckLimits::default()).expect("checker");
+    checker.saturate().expect("must terminate (Theorem 3.1)");
+}
+
+/// Theorem 4.3 (soundness of abstraction): for every concrete failing run
+/// of the source, the abstract program also fails — checked here in the
+/// contrapositive form the verifier relies on: when the model checker says
+/// the abstraction is safe, no concrete run may fail. We fuzz schedules.
+#[test]
+fn thm_4_3_soundness_of_abstraction() {
+    use homc_lang::eval::{run, ScriptDriver};
+    // A safe program, abstracted *with* refinement until safe.
+    let compiled = frontend(M1).expect("compiles");
+    let mut env = AbsEnv::initial(&compiled.cps);
+    let solver = SmtSolver::new();
+    // One refinement round is enough for M1.
+    let trace = build_trace(&compiled.cps, &[Label::Zero, Label::One], 10_000).expect("traces");
+    refine_env(&compiled.cps, &trace, &mut env, &solver, &RefineOptions::default())
+        .expect("refines");
+    let (bp, _) = abstract_program(&compiled.cps, &env, &AbsOptions::default()).expect("abstracts");
+    let mut checker = Checker::new(&bp, CheckLimits::default()).expect("checker");
+    checker.saturate().expect("saturates");
+    assert!(!checker.may_fail(), "M1's refined abstraction is safe");
+    // Soundness: then no concrete schedule may fail.
+    for n in -5..=5 {
+        for bits in 0..16u8 {
+            let labels: Vec<Label> = (0..4)
+                .map(|i| {
+                    if (bits >> i) & 1 == 1 {
+                        Label::One
+                    } else {
+                        Label::Zero
+                    }
+                })
+                .collect();
+            let mut d = ScriptDriver::new(labels, vec![n]);
+            let (out, _) = run(&compiled.cps, &mut d, 100_000);
+            assert!(
+                !out.is_fail(),
+                "concrete failure (n={n}, bits={bits:#b}) under a safe abstraction \
+                 contradicts Theorem 4.3"
+            );
+        }
+    }
+}
+
+/// Theorem 5.3 (progress): after refining on a spurious path, the *same*
+/// path is no longer a path of the new abstract program.
+#[test]
+fn thm_5_3_progress() {
+    let compiled = frontend(M1).expect("compiles");
+    let mut env = AbsEnv::initial(&compiled.cps);
+    let solver = SmtSolver::new();
+
+    // Round 1: get the spurious path from the actual model checker.
+    let (bp, _) = abstract_program(&compiled.cps, &env, &AbsOptions::default()).expect("abstracts");
+    let mut checker = Checker::new(&bp, CheckLimits::default()).expect("checker");
+    checker.saturate().expect("saturates");
+    assert!(checker.may_fail(), "round 1 must find a (spurious) path");
+    let path1 = find_error_path(&mut checker).expect("budget").expect("path");
+    let labels1 = source_labels(&path1);
+
+    let trace = build_trace(&compiled.cps, &labels1, 10_000).expect("traces");
+    assert_eq!(trace.end, TraceEnd::ReachedFail);
+    let (feas, changed) =
+        refine_env(&compiled.cps, &trace, &mut env, &solver, &RefineOptions::default())
+            .expect("refines");
+    assert!(matches!(feas, Feasibility::Infeasible));
+    assert!(changed);
+
+    // Round 2: the refined abstraction must not contain the old path. (For
+    // M1 it is in fact safe, which subsumes progress.)
+    let (bp2, _) =
+        abstract_program(&compiled.cps, &env, &AbsOptions::default()).expect("abstracts");
+    let mut checker2 = Checker::new(&bp2, CheckLimits::default()).expect("checker");
+    checker2.saturate().expect("saturates");
+    if checker2.may_fail() {
+        let path2 = find_error_path(&mut checker2).expect("budget").expect("path");
+        assert_ne!(
+            source_labels(&path2),
+            labels1,
+            "progress (Thm 5.3): the refuted path must be excluded"
+        );
+    }
+}
+
+/// Lemma 5.1: straightline traces are linear (activations in call order),
+/// contain no choices, and replay to `fail` exactly when the labels lead
+/// there.
+#[test]
+fn lemma_5_1_straightline_properties() {
+    let compiled = frontend(M1).expect("compiles");
+    let trace = build_trace(&compiled.cps, &[Label::Zero, Label::One], 10_000).expect("traces");
+    assert!(trace.is_straightline());
+    assert_eq!(trace.end, TraceEnd::ReachedFail);
+    // A non-failing label choice ends without failure.
+    let trace2 = build_trace(&compiled.cps, &[Label::Zero, Label::Zero], 10_000).expect("traces");
+    assert_eq!(trace2.end, TraceEnd::Finished);
+}
+
+/// Example 5.2's essence: the constraint system of M3's spurious path is
+/// solved with a *dependent* predicate equivalent to `ν > z` on h's second
+/// parameter.
+#[test]
+fn example_5_2_dependent_predicate() {
+    let m3 = "let f x g = g (x + 1) in
+              let h z y = assert (y > z) in
+              let k n = if n >= 0 then f n (h n) else () in
+              k m";
+    let compiled = frontend(m3).expect("compiles");
+    let trace = build_trace(&compiled.cps, &[Label::Zero, Label::One], 10_000).expect("traces");
+    let refinement = homc_cegar::discover_predicates(
+        &compiled.cps,
+        &trace,
+        &RefineOptions {
+            seed_from_path: false,
+            ..RefineOptions::default()
+        },
+    )
+    .expect("refines");
+    let has_dependent = refinement.fun_updates.values().any(|scheme| {
+        scheme.iter().any(|(_, t)| match t {
+            homc_abs::AbsTy::Base(_, ps) => ps.iter().any(|p| !p.free_vars().is_empty()),
+            _ => false,
+        })
+    });
+    assert!(has_dependent, "expected ν > z: {refinement:?}");
+}
+
+/// The full pipeline respects genuine counterexamples: for an unsafe
+/// program the verifier's witness and path replay to a concrete failure.
+#[test]
+fn counterexamples_are_genuine() {
+    use homc::{verify, Verdict, VerifierOptions};
+    use homc_lang::eval::{run, ScriptDriver};
+    for src in [
+        "assert (n > 0)",
+        "let rec sum n = if n <= 0 then 0 else n + sum (n - 1) in assert (m < sum m)",
+        "let f x g = g (x - 1) in
+         let h y = assert (y > 0) in
+         let k n = if n > 0 then f n h else () in
+         k m",
+    ] {
+        let out = verify(src, &VerifierOptions::default()).expect("runs");
+        let Verdict::Unsafe { witness, path } = &out.verdict else {
+            panic!("expected unsafe for {src}, got {}", out.verdict);
+        };
+        let compiled = frontend(src).expect("compiles");
+        let mut d = ScriptDriver::new(path.clone(), witness.clone());
+        let (outcome, _) = run(&compiled.cps, &mut d, 1_000_000);
+        assert!(outcome.is_fail(), "witness must replay: {src}");
+    }
+}
