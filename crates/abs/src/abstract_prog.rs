@@ -31,11 +31,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
+use homc_budget::{Budget, BudgetError, Phase};
 use homc_hbp::{BDef, BExpr, BProgram, BVal, BoolExpr};
 use homc_lang::kernel::{Const, Def, Expr, FunName, Op, Program, Value};
 use homc_lang::types::SimpleTy;
-use homc_smt::{Atom, Formula, LinExpr, SmtSolver, Var};
+use homc_smt::{Atom, Formula, LinExpr, SatResult, SmtSolver, Var};
 
 use crate::types::{AbsEnv, AbsTy};
 
@@ -67,11 +69,26 @@ pub struct AbsStats {
 
 /// Errors from the abstraction.
 #[derive(Clone, Debug)]
-pub struct AbsError(pub String);
+pub enum AbsError {
+    /// The shared [`Budget`] preempted the abstraction (deadline, fuel, or
+    /// an injected fault).
+    Exhausted(BudgetError),
+    /// The program could not be abstracted (ill-formed or unsupported).
+    Invalid(String),
+}
+
+impl AbsError {
+    fn invalid(msg: impl Into<String>) -> AbsError {
+        AbsError::Invalid(msg.into())
+    }
+}
 
 impl fmt::Display for AbsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "abstraction error: {}", self.0)
+        match self {
+            AbsError::Exhausted(e) => write!(f, "abstraction budget exhausted: {e}"),
+            AbsError::Invalid(s) => write!(f, "abstraction error: {s}"),
+        }
     }
 }
 
@@ -87,11 +104,28 @@ pub fn abstract_program(
     env: &AbsEnv,
     opts: &AbsOptions,
 ) -> Result<(BProgram, AbsStats), AbsError> {
+    abstract_program_budgeted(program, env, opts, None)
+}
+
+/// [`abstract_program`] under a shared [`Budget`]: one [`Phase::Abs`]
+/// checkpoint per abstracted definition and per expression node, and every
+/// internal SMT query checkpoints `Phase::Smt`.
+pub fn abstract_program_budgeted(
+    program: &Program,
+    env: &AbsEnv,
+    opts: &AbsOptions,
+    budget: Option<Arc<Budget>>,
+) -> Result<(BProgram, AbsStats), AbsError> {
+    let solver = match &budget {
+        Some(b) => SmtSolver::with_budget(b.clone()),
+        None => SmtSolver::new(),
+    };
     let mut a = Abstractor {
         program,
         env,
         opts,
-        solver: SmtSolver::new(),
+        solver,
+        budget,
         out: Vec::new(),
         counter: 0,
         stats: AbsStats::default(),
@@ -107,7 +141,7 @@ pub fn abstract_program(
         main: FunName("__entry".to_string()),
     };
     bp.check()
-        .map_err(|e| AbsError(format!("abstraction produced an ill-formed program: {e}")))?;
+        .map_err(|e| AbsError::invalid(format!("abstraction produced an ill-formed program: {e}")))?;
     Ok((bp, a.stats))
 }
 
@@ -132,12 +166,32 @@ struct Abstractor<'a> {
     env: &'a AbsEnv,
     opts: &'a AbsOptions,
     solver: SmtSolver,
+    budget: Option<Arc<Budget>>,
     out: Vec<BDef>,
     counter: usize,
     stats: AbsStats,
 }
 
 impl Abstractor<'_> {
+    fn checkpoint(&self) -> Result<(), AbsError> {
+        if let Some(b) = &self.budget {
+            b.checkpoint(Phase::Abs).map_err(AbsError::Exhausted)?;
+        }
+        Ok(())
+    }
+
+    /// A satisfiability query that propagates budget exhaustion instead of
+    /// conservatively answering "maybe": a preempted abstraction must
+    /// surface as `Unknown`, not silently coarsen.
+    fn query_sat(&mut self, f: &Formula) -> Result<bool, AbsError> {
+        self.stats.sat_queries += 1;
+        match self.solver.check(f) {
+            SatResult::Unsat => Ok(false),
+            SatResult::Exhausted(e) => Err(AbsError::Exhausted(e)),
+            SatResult::Sat(_) | SatResult::Unknown => Ok(true),
+        }
+    }
+
     fn fresh_var(&mut self, base: &str) -> Var {
         self.counter += 1;
         Var::new(format!("{base}%{}", self.counter))
@@ -152,7 +206,7 @@ impl Abstractor<'_> {
         self.env
             .schemes
             .get(f)
-            .ok_or_else(|| AbsError(format!("no abstraction scheme for {f}")))
+            .ok_or_else(|| AbsError::invalid(format!("no abstraction scheme for {f}")))
     }
 
     /// The abstraction type of `f` as a curried dependent type.
@@ -164,6 +218,7 @@ impl Abstractor<'_> {
     }
 
     fn abstract_def(&mut self, d: &Def) -> Result<BDef, AbsError> {
+        self.checkpoint()?;
         let scheme = self.scheme(&d.name)?.clone();
         let mut ctx = Ctx::default();
         let mut params = Vec::new();
@@ -200,7 +255,7 @@ impl Abstractor<'_> {
         let mut args = Vec::new();
         for (x, ty) in &scheme {
             let AbsTy::Base(SimpleTy::Int, preds) = ty else {
-                return Err(AbsError(format!(
+                return Err(AbsError::invalid(format!(
                     "unknown parameter {x} of main must be an integer"
                 )));
             };
@@ -230,6 +285,7 @@ impl Abstractor<'_> {
     }
 
     fn abstract_expr(&mut self, e: &Expr, ctx: &mut Ctx) -> Result<BExpr, AbsError> {
+        self.checkpoint()?;
         match e {
             Expr::Fail => Ok(BExpr::Fail),
             Expr::Value(_) => Ok(BExpr::Value(BVal::unit())),
@@ -242,7 +298,7 @@ impl Abstractor<'_> {
                     Value::Const(Const::Bool(b)) => BoolExpr::Const(*b),
                     Value::Var(x) => BoolExpr::Proj(x.clone(), 0),
                     other => {
-                        return Err(AbsError(format!("assume on non-variable value {other}")))
+                        return Err(AbsError::invalid(format!("assume on non-variable value {other}")))
                     }
                 };
                 let b = self.abstract_expr(body, ctx)?;
@@ -255,7 +311,7 @@ impl Abstractor<'_> {
             }
             Expr::Call(head, args) => self.abstract_call(head, args, ctx),
             Expr::Op(_, _) | Expr::Rand => {
-                Err(AbsError("naked op/rand in tail position (not CPS-normal)".into()))
+                Err(AbsError::invalid("naked op/rand in tail position (not CPS-normal)"))
             }
         }
     }
@@ -311,7 +367,7 @@ impl Abstractor<'_> {
                 }
             },
             Expr::Op(op, args) => self.abstract_op_binding(x, *op, args, ctx, ctx2),
-            other => Err(AbsError(format!(
+            other => Err(AbsError::invalid(format!(
                 "non-trivial let right-hand side (not CPS-normal): {other}"
             ))),
         }
@@ -433,7 +489,7 @@ impl Abstractor<'_> {
         let mut arg_bvals = Vec::new();
         for v in args {
             if remaining.is_empty() {
-                return Err(AbsError("over-application during abstraction".into()));
+                return Err(AbsError::invalid("over-application during abstraction"));
             }
             let (y, expected) = remaining.remove(0);
             let (bv, mut bs) = self.abstract_arg(v, &expected, ctx)?;
@@ -448,7 +504,7 @@ impl Abstractor<'_> {
             arg_bvals.push(bv);
         }
         if !remaining.is_empty() {
-            return Err(AbsError("under-application in tail call".into()));
+            return Err(AbsError::invalid("under-application in tail call"));
         }
         Ok(wrap_binds(binds, BExpr::Call(head_bval, arg_bvals)))
     }
@@ -467,7 +523,7 @@ impl Abstractor<'_> {
                 let ty = ctx
                     .fns
                     .get(x)
-                    .ok_or_else(|| AbsError(format!("calling unknown function variable {x}")))?
+                    .ok_or_else(|| AbsError::invalid(format!("calling unknown function variable {x}")))?
                     .clone();
                 let (params, _) = ty.uncurry();
                 Ok((
@@ -484,7 +540,7 @@ impl Abstractor<'_> {
                 let mut vals = Vec::new();
                 for v in partial {
                     if remaining.is_empty() {
-                        return Err(AbsError("over-applied partial application".into()));
+                        return Err(AbsError::invalid("over-applied partial application"));
                     }
                     let (y, expected) = remaining.remove(0);
                     let (bv, mut bs) = self.abstract_arg(v, &expected, ctx)?;
@@ -498,7 +554,7 @@ impl Abstractor<'_> {
                 }
                 Ok((hb.papp(vals), remaining, binds))
             }
-            Value::Const(_) => Err(AbsError("calling a constant".into())),
+            Value::Const(_) => Err(AbsError::invalid("calling a constant")),
         }
     }
 
@@ -538,7 +594,7 @@ impl Abstractor<'_> {
                 }
             }
             AbsTy::Base(SimpleTy::Fun(_, _), _) => {
-                Err(AbsError("base abstraction type with function simple type".into()))
+                Err(AbsError::invalid("base abstraction type with function simple type"))
             }
             AbsTy::Fun(_, _, _) => {
                 let (natural, bval, binds) = self.abstract_fn_natural(v, ctx)?;
@@ -557,6 +613,7 @@ impl Abstractor<'_> {
 
     /// Abstracts a function-typed value at its *natural* type (the type its
     /// own components dictate). Returns (natural type, value, bindings).
+    #[allow(clippy::type_complexity)]
     fn abstract_fn_natural(
         &mut self,
         v: &Value,
@@ -568,7 +625,7 @@ impl Abstractor<'_> {
                 let ty = ctx
                     .fns
                     .get(x)
-                    .ok_or_else(|| AbsError(format!("unknown function variable {x}")))?
+                    .ok_or_else(|| AbsError::invalid(format!("unknown function variable {x}")))?
                     .clone();
                 Ok((ty, BVal::Var(x.clone()), Vec::new()))
             }
@@ -578,7 +635,7 @@ impl Abstractor<'_> {
                 let mut vals = Vec::new();
                 for a in partial {
                     let AbsTy::Fun(y, dom, cod) = ty else {
-                        return Err(AbsError("over-applied partial application".into()));
+                        return Err(AbsError::invalid("over-applied partial application"));
                     };
                     let (bv, mut bs) = self.abstract_arg(a, &dom, ctx)?;
                     binds.append(&mut bs);
@@ -590,7 +647,7 @@ impl Abstractor<'_> {
                 }
                 Ok((ty, hval.papp(vals), binds))
             }
-            Value::Const(_) => Err(AbsError("constant used as function".into())),
+            Value::Const(_) => Err(AbsError::invalid("constant used as function")),
         }
     }
 
@@ -634,10 +691,7 @@ impl Abstractor<'_> {
         let mut call_args: Vec<BVal> = Vec::new();
         let mut nty = natural.clone();
         let mut ety = expected.clone();
-        loop {
-            let (AbsTy::Fun(nb, ndom, ncod), AbsTy::Fun(eb, edom, ecod)) = (&nty, &ety) else {
-                break;
-            };
+        while let (AbsTy::Fun(nb, ndom, ncod), AbsTy::Fun(eb, edom, ecod)) = (&nty, &ety) {
             // One shared symbolic value for this position, plus the
             // wrapper's runtime parameter holding the expected-typed tuple.
             let sym = self.fresh_var("@y");
@@ -692,7 +746,7 @@ impl Abstractor<'_> {
                     wctx.fns.insert(p.clone(), edom.as_ref().clone());
                 }
                 (n, e) => {
-                    return Err(AbsError(format!(
+                    return Err(AbsError::invalid(format!(
                         "coercion between incompatible shapes {n} and {e}"
                     )))
                 }
@@ -732,7 +786,7 @@ impl Abstractor<'_> {
                     if ctx.fns.contains_key(x) {
                         Ok(Classified::FnVal)
                     } else {
-                        Err(AbsError(format!("unclassifiable variable {x}")))
+                        Err(AbsError::invalid(format!("unclassifiable variable {x}")))
                     }
                 }
             },
@@ -760,7 +814,7 @@ impl Abstractor<'_> {
                 BoolExpr::Const(*b),
             )),
             Value::Var(x) => Ok((Formula::BVar(x.clone()), BoolExpr::Proj(x.clone(), 0))),
-            other => Err(AbsError(format!("unsupported boolean operand {other}"))),
+            other => Err(AbsError::invalid(format!("unsupported boolean operand {other}"))),
         }
     }
 
@@ -851,8 +905,7 @@ impl Abstractor<'_> {
                     .map(|(b, (_, _, m))| if *b { m.clone() } else { Formula::not(m.clone()) }),
             ),
         );
-        self.stats.sat_queries += 1;
-        if !self.solver.maybe_sat(&gamma) {
+        if !self.query_sat(&gamma)? {
             return Ok(());
         }
         if minterm.len() < pairs.len() {
@@ -915,8 +968,7 @@ impl Abstractor<'_> {
                 }
             })),
         );
-        self.stats.sat_queries += 1;
-        if !self.solver.maybe_sat(&q) {
+        if !self.query_sat(&q)? {
             return Ok(());
         }
         if combo.len() == targets.len() {

@@ -37,5 +37,5 @@
 pub mod abstract_prog;
 pub mod types;
 
-pub use abstract_prog::{abstract_program, AbsError, AbsOptions, AbsStats};
+pub use abstract_prog::{abstract_program, abstract_program_budgeted, AbsError, AbsOptions, AbsStats};
 pub use types::{AbsEnv, AbsTy, Predicate};

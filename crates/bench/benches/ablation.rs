@@ -5,9 +5,9 @@
 //! * `max_context_atoms` — the Ball-et-al. bound on predicates considered
 //!   per abstract transition (the paper's §6 optimization).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use homc::{verify, VerifierOptions};
 use homc_abs::AbsOptions;
+use homc_bench::time_it;
 use homc_cegar::RefineOptions;
 
 const SUM: &str = "let rec sum n = if n <= 0 then 0 else n + sum (n - 1) in
@@ -17,9 +17,7 @@ const RLOCK: &str = "let lock st = assert (st = 0); 1 in
                      let rec loop n st = if n <= 0 then st else loop (n - 1) (unlock (lock st)) in
                      assert (loop n 0 = 0)";
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
+fn main() {
     for (prog_name, src) in [("sum", SUM), ("r-lock", RLOCK)] {
         for seed in [true, false] {
             let opts = VerifierOptions {
@@ -29,8 +27,8 @@ fn bench_ablation(c: &mut Criterion) {
                 },
                 ..VerifierOptions::default()
             };
-            group.bench_function(format!("{prog_name}/seed={seed}"), |b| {
-                b.iter(|| std::hint::black_box(verify(src, &opts).expect("runs").verdict))
+            time_it(&format!("{prog_name}/seed={seed}"), 10, || {
+                verify(src, &opts).expect("runs").verdict
             });
         }
         for atoms in [3usize, 7, 12] {
@@ -40,13 +38,9 @@ fn bench_ablation(c: &mut Criterion) {
                 },
                 ..VerifierOptions::default()
             };
-            group.bench_function(format!("{prog_name}/ctx_atoms={atoms}"), |b| {
-                b.iter(|| std::hint::black_box(verify(src, &opts).expect("runs").verdict))
+            time_it(&format!("{prog_name}/ctx_atoms={atoms}"), 10, || {
+                verify(src, &opts).expect("runs").verdict
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

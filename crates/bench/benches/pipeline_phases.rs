@@ -3,8 +3,8 @@
 //! (Step 2), and SHP construction + refinement (Steps 3-4). These are the
 //! `abst`/`mc`/`cegar` columns of Table 1, isolated.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use homc_abs::{abstract_program, AbsEnv, AbsOptions};
+use homc_bench::time_it;
 use homc_cegar::{build_trace, discover_predicates, RefineOptions};
 use homc_hbp::check::{model_check, CheckLimits};
 use homc_lang::eval::Label;
@@ -15,35 +15,20 @@ const M3: &str = "let f x g = g (x + 1) in
                   let k n = if n >= 0 then f n (h n) else () in
                   k m";
 
-fn bench_phases(c: &mut Criterion) {
+fn main() {
     let compiled = frontend(M3).expect("compiles");
     let env = AbsEnv::initial(&compiled.cps);
     let (bp, _) = abstract_program(&compiled.cps, &env, &AbsOptions::default()).expect("abstracts");
-    let trace = build_trace(&compiled.cps, &[Label::Zero, Label::One], 10_000).expect("traces");
 
-    c.bench_function("frontend", |b| {
-        b.iter(|| std::hint::black_box(frontend(M3).expect("compiles")))
+    time_it("frontend", 50, || frontend(M3).expect("compiles"));
+    time_it("abstraction", 50, || {
+        abstract_program(&compiled.cps, &env, &AbsOptions::default()).expect("abstracts")
     });
-    c.bench_function("abstraction", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                abstract_program(&compiled.cps, &env, &AbsOptions::default()).expect("abstracts"),
-            )
-        })
+    time_it("model_check", 50, || {
+        model_check(&bp, CheckLimits::default()).expect("checks")
     });
-    c.bench_function("model_check", |b| {
-        b.iter(|| std::hint::black_box(model_check(&bp, CheckLimits::default()).expect("checks")))
+    time_it("shp_and_refine", 50, || {
+        let t = build_trace(&compiled.cps, &[Label::Zero, Label::One], 10_000).expect("traces");
+        discover_predicates(&compiled.cps, &t, &RefineOptions::default()).expect("refines")
     });
-    c.bench_function("shp_and_refine", |b| {
-        b.iter(|| {
-            let t = build_trace(&compiled.cps, &[Label::Zero, Label::One], 10_000).expect("traces");
-            std::hint::black_box(
-                discover_predicates(&compiled.cps, &t, &RefineOptions::default()).expect("refines"),
-            )
-        })
-    });
-    std::hint::black_box(trace);
 }
-
-criterion_group!(benches, bench_phases);
-criterion_main!(benches);

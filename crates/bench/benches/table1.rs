@@ -1,30 +1,22 @@
-//! Criterion bench over the paper's Table 1 suite: one benchmark per
-//! program, measuring the full verification pipeline (front end + CEGAR
-//! loop). This regenerates the paper's only evaluation table with stable
-//! statistics; the `table1` binary prints the same data in the paper's
-//! layout.
+//! Bench over the paper's Table 1 suite: one timing per program, measuring
+//! the full verification pipeline (front end + CEGAR loop). This
+//! regenerates the paper's only evaluation table with stable statistics;
+//! the `table1` binary prints the same data in the paper's layout.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use homc::{suite::SUITE, verify, VerifierOptions};
+use homc_bench::time_it;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+fn main() {
     for p in SUITE {
         // Keep the bench wall-clock sane: skip the two slowest programs in
         // the timed loop (they are covered by the `table1` binary run).
         if matches!(p.name, "a-prod" | "r-file") {
             continue;
         }
-        group.bench_function(p.name, |b| {
-            b.iter(|| {
-                let out = verify(p.source, &VerifierOptions::default()).expect("runs");
-                std::hint::black_box(out.verdict)
-            })
+        time_it(&format!("table1/{}", p.name), 10, || {
+            verify(p.source, &VerifierOptions::default())
+                .expect("runs")
+                .verdict
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

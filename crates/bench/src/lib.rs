@@ -71,6 +71,29 @@ pub fn format_row(r: &Row) -> String {
     )
 }
 
+/// A minimal timing loop for the `benches/` targets (plain `harness =
+/// false` binaries — no external statistics crate on the air-gapped CI):
+/// a warmup pass, `iters` measured runs, and a `name: min/mean/max` line.
+pub fn time_it<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) {
+    use std::time::Instant;
+    std::hint::black_box(f());
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed());
+    }
+    let min = samples.iter().min().expect("iters > 0");
+    let max = samples.iter().max().expect("iters > 0");
+    let mean = samples.iter().sum::<std::time::Duration>() / iters as u32;
+    println!(
+        "{name:32} min {:9.3}ms  mean {:9.3}ms  max {:9.3}ms  ({iters} iters)",
+        min.as_secs_f64() * 1e3,
+        mean.as_secs_f64() * 1e3,
+        max.as_secs_f64() * 1e3,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

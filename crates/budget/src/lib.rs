@@ -1,0 +1,504 @@
+//! `homc-budget`: the shared resource budget of the CEGAR pipeline.
+//!
+//! Every phase of the verifier — predicate abstraction, higher-order model
+//! checking, feasibility replay, interpolation, and the SMT substrate —
+//! periodically calls [`Budget::checkpoint`]. A checkpoint is where the
+//! pipeline can be preempted: when the wall-clock deadline has passed, the
+//! fuel counter is spent, or a [`FaultPlan`] injection fires, the checkpoint
+//! returns a structured [`BudgetError`] that the caller propagates outward.
+//! The verifier turns any such error into `Verdict::Unknown` — exhaustion is
+//! a *verdict*, never a hang and never an abort.
+//!
+//! The budget is deliberately tiny and dependency-free: it sits below every
+//! other crate in the workspace so that all of them can share one clock and
+//! one fuel pool.
+//!
+//! # Design notes
+//!
+//! * Counters are atomics, so a `&Budget` can be threaded through shared
+//!   references (the solver, the checker, the refiner) without plumbing
+//!   `&mut` everywhere, and later PRs can share one budget across threads.
+//! * The wall-clock is only sampled every [`DEADLINE_STRIDE`] checkpoints;
+//!   checkpoints are on hot paths (one per model-checker search step) and
+//!   `Instant::now` is not free.
+//! * Fault injection is deterministic: the N-th checkpoint of a named phase
+//!   fails, every run, which makes degradation paths unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// How often (in checkpoints) the wall clock is consulted.
+pub const DEADLINE_STRIDE: u64 = 64;
+
+/// The pipeline phase issuing a checkpoint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Phase {
+    /// Predicate abstraction (Step 1).
+    Abs,
+    /// Higher-order model checking (Step 2).
+    Mc,
+    /// Feasibility replay / trace construction (Step 3).
+    Feas,
+    /// Predicate discovery by interpolation (Step 4).
+    Interp,
+    /// The SMT substrate (sat / entailment queries issued by any phase).
+    Smt,
+}
+
+/// All phases, in pipeline order.
+pub const PHASES: [Phase; 5] = [Phase::Abs, Phase::Mc, Phase::Feas, Phase::Interp, Phase::Smt];
+
+impl Phase {
+    fn index(self) -> usize {
+        match self {
+            Phase::Abs => 0,
+            Phase::Mc => 1,
+            Phase::Feas => 2,
+            Phase::Interp => 3,
+            Phase::Smt => 4,
+        }
+    }
+
+    /// The CLI / config name of the phase.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Abs => "abs",
+            Phase::Mc => "mc",
+            Phase::Feas => "feas",
+            Phase::Interp => "interp",
+            Phase::Smt => "smt",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Phase {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Phase, String> {
+        match s {
+            "abs" => Ok(Phase::Abs),
+            "mc" => Ok(Phase::Mc),
+            "feas" => Ok(Phase::Feas),
+            "interp" => Ok(Phase::Interp),
+            "smt" => Ok(Phase::Smt),
+            other => Err(format!(
+                "unknown phase {other:?} (expected abs, mc, feas, interp or smt)"
+            )),
+        }
+    }
+}
+
+/// Which resource limit a [`BudgetError`] reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LimitKind {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The shared fuel counter ran out.
+    Fuel,
+    /// A phase-local step / search budget (e.g. `CheckLimits`) was spent.
+    Steps,
+    /// A phase-local size budget (table size, combination count, DNF cubes).
+    Size,
+    /// A [`FaultPlan`] injection fired.
+    Injected,
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitKind::Deadline => write!(f, "deadline"),
+            LimitKind::Fuel => write!(f, "fuel"),
+            LimitKind::Steps => write!(f, "step limit"),
+            LimitKind::Size => write!(f, "size limit"),
+            LimitKind::Injected => write!(f, "injected fault"),
+        }
+    }
+}
+
+/// A structured resource-exhaustion report: which phase hit which limit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BudgetError {
+    /// The phase that was executing when the limit was hit.
+    pub phase: Phase,
+    /// The limit that was hit.
+    pub limit: LimitKind,
+    /// Free-form detail (e.g. `"more than 200000 typings"`). May be empty.
+    pub detail: String,
+}
+
+impl BudgetError {
+    /// Creates a report without detail text.
+    pub fn new(phase: Phase, limit: LimitKind) -> BudgetError {
+        BudgetError {
+            phase,
+            limit,
+            detail: String::new(),
+        }
+    }
+
+    /// Creates a report with detail text.
+    pub fn with_detail(phase: Phase, limit: LimitKind, detail: impl Into<String>) -> BudgetError {
+        BudgetError {
+            phase,
+            limit,
+            detail: detail.into(),
+        }
+    }
+
+    /// `true` for limits the verifier may retry with escalated phase-local
+    /// limits (pointless for deadlines and injected faults, which would
+    /// simply fire again / already consumed the whole time budget).
+    pub fn retryable(&self) -> bool {
+        matches!(self.limit, LimitKind::Steps | LimitKind::Size | LimitKind::Fuel)
+    }
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.phase, self.limit)?;
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// What an injected fault does when it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The checkpoint returns a [`BudgetError`] with
+    /// [`LimitKind::Injected`] — a simulated solver failure / timeout.
+    Error,
+    /// The checkpoint panics — a simulated internal invariant violation,
+    /// for drilling the verifier's `catch_unwind` boundary.
+    Panic,
+}
+
+/// One deterministic injection: fail the `at`-th checkpoint of `phase`
+/// (1-based).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fault {
+    /// The phase to sabotage.
+    pub phase: Phase,
+    /// Which checkpoint of that phase fires the fault (1 = the first).
+    pub at: u64,
+    /// Error or panic.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault-injection plan (possibly empty).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no injections).
+    pub const fn none() -> FaultPlan {
+        FaultPlan { faults: Vec::new() }
+    }
+
+    /// A plan with a single injection.
+    pub fn one(phase: Phase, at: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            faults: vec![Fault { phase, at, kind }],
+        }
+    }
+
+    /// Adds an injection.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// `true` when the plan has no injections.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault (if any) scheduled for checkpoint number `count` of `phase`.
+    fn fires(&self, phase: Phase, count: u64) -> Option<&Fault> {
+        self.faults
+            .iter()
+            .find(|f| f.phase == phase && f.at == count)
+    }
+}
+
+/// Parse error for `--inject` specifications.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpecError(pub String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+impl FromStr for Fault {
+    type Err = FaultSpecError;
+
+    /// Parses `phase:n` or `phase:n:panic`, e.g. `smt:3` or `mc:1:panic`.
+    fn from_str(s: &str) -> Result<Fault, FaultSpecError> {
+        let mut parts = s.split(':');
+        let phase = parts
+            .next()
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| FaultSpecError(format!("{s:?}: missing phase")))?;
+        let phase: Phase = phase.parse().map_err(FaultSpecError)?;
+        let at = parts
+            .next()
+            .ok_or_else(|| FaultSpecError(format!("{s:?}: missing checkpoint number")))?;
+        let at: u64 = at
+            .parse()
+            .map_err(|e| FaultSpecError(format!("{s:?}: bad checkpoint number: {e}")))?;
+        if at == 0 {
+            return Err(FaultSpecError(format!(
+                "{s:?}: checkpoint numbers are 1-based"
+            )));
+        }
+        let kind = match parts.next() {
+            None => FaultKind::Error,
+            Some("panic") => FaultKind::Panic,
+            Some("error") => FaultKind::Error,
+            Some(other) => {
+                return Err(FaultSpecError(format!(
+                    "{s:?}: unknown fault kind {other:?} (expected error or panic)"
+                )))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(FaultSpecError(format!("{s:?}: trailing garbage")));
+        }
+        Ok(Fault { phase, at, kind })
+    }
+}
+
+/// The shared resource budget: wall-clock deadline + monotone fuel counter +
+/// deterministic fault plan, with one checkpoint counter per [`Phase`].
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_fuel: Option<u64>,
+    plan: FaultPlan,
+    fuel_used: AtomicU64,
+    counters: [AtomicU64; 5],
+}
+
+impl fmt::Debug for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Budget")
+            .field("deadline", &self.deadline)
+            .field("max_fuel", &self.max_fuel)
+            .field("plan", &self.plan)
+            .field("fuel_used", &self.fuel_used.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::new(None, None, FaultPlan::none())
+    }
+}
+
+impl Budget {
+    /// A budget with explicit deadline (from now), fuel, and fault plan.
+    pub fn new(timeout: Option<Duration>, max_fuel: Option<u64>, plan: FaultPlan) -> Budget {
+        Budget {
+            deadline: timeout.map(|t| Instant::now() + t),
+            max_fuel,
+            plan,
+            fuel_used: AtomicU64::new(0),
+            counters: Default::default(),
+        }
+    }
+
+    /// A shared budget with no limits and no faults. Checkpoints against it
+    /// always succeed; use it where no caller provided a real budget.
+    pub fn unlimited() -> &'static Budget {
+        static UNLIMITED: OnceLock<Budget> = OnceLock::new();
+        UNLIMITED.get_or_init(Budget::default)
+    }
+
+    /// The wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Total checkpoints passed so far (the fuel spent).
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_used.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints passed so far in `phase`.
+    pub fn checkpoints(&self, phase: Phase) -> u64 {
+        self.counters[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// `true` once the deadline has passed (always `false` without one).
+    /// Samples the clock unconditionally — prefer [`Budget::checkpoint`] on
+    /// hot paths.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Registers one unit of work in `phase`.
+    ///
+    /// Fails with a structured [`BudgetError`] when the fuel pool is spent,
+    /// the deadline has passed (sampled every [`DEADLINE_STRIDE`]
+    /// checkpoints), or a planned fault fires. A planned [`FaultKind::Panic`]
+    /// fault panics instead — callers are expected to be wrapped in the
+    /// verifier's `catch_unwind` boundary.
+    pub fn checkpoint(&self, phase: Phase) -> Result<(), BudgetError> {
+        let count = self.counters[phase.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        let fuel = self.fuel_used.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(fault) = self.plan.fires(phase, count) {
+            match fault.kind {
+                FaultKind::Error => {
+                    return Err(BudgetError::with_detail(
+                        phase,
+                        LimitKind::Injected,
+                        format!("planned fault at {phase} checkpoint {count}"),
+                    ))
+                }
+                FaultKind::Panic => {
+                    panic!("injected fault: panic at {phase} checkpoint {count}")
+                }
+            }
+        }
+        if let Some(max) = self.max_fuel {
+            if fuel > max {
+                return Err(BudgetError::with_detail(
+                    phase,
+                    LimitKind::Fuel,
+                    format!("{max} checkpoints"),
+                ));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if fuel.is_multiple_of(DEADLINE_STRIDE) || count == 1 {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(BudgetError::with_detail(
+                        phase,
+                        LimitKind::Deadline,
+                        "wall-clock deadline passed",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_fails() {
+        let b = Budget::unlimited();
+        for phase in PHASES {
+            for _ in 0..1000 {
+                b.checkpoint(phase).expect("unlimited");
+            }
+        }
+    }
+
+    #[test]
+    fn fuel_exhausts_exactly() {
+        let b = Budget::new(None, Some(10), FaultPlan::none());
+        for _ in 0..10 {
+            b.checkpoint(Phase::Mc).expect("within fuel");
+        }
+        let e = b.checkpoint(Phase::Smt).expect_err("over fuel");
+        assert_eq!(e.limit, LimitKind::Fuel);
+        assert_eq!(e.phase, Phase::Smt);
+        assert!(e.retryable());
+    }
+
+    #[test]
+    fn deadline_fires_within_stride() {
+        let b = Budget::new(Some(Duration::ZERO), None, FaultPlan::none());
+        let mut failed = None;
+        for i in 0..=DEADLINE_STRIDE {
+            if let Err(e) = b.checkpoint(Phase::Abs) {
+                failed = Some((i, e));
+                break;
+            }
+        }
+        let (_, e) = failed.expect("an expired deadline fires within one stride");
+        assert_eq!(e.limit, LimitKind::Deadline);
+        assert!(!e.retryable());
+    }
+
+    #[test]
+    fn fault_fires_at_exact_checkpoint() {
+        let b = Budget::new(None, None, FaultPlan::one(Phase::Interp, 3, FaultKind::Error));
+        b.checkpoint(Phase::Interp).expect("1");
+        // Other phases do not advance the interp counter.
+        b.checkpoint(Phase::Smt).expect("smt unaffected");
+        b.checkpoint(Phase::Interp).expect("2");
+        let e = b.checkpoint(Phase::Interp).expect_err("3 fires");
+        assert_eq!(e.limit, LimitKind::Injected);
+        assert_eq!(e.phase, Phase::Interp);
+        assert!(!e.retryable());
+        // One-shot: the next checkpoint passes again.
+        b.checkpoint(Phase::Interp).expect("4");
+    }
+
+    #[test]
+    fn panic_fault_panics() {
+        let b = Budget::new(None, None, FaultPlan::one(Phase::Mc, 1, FaultKind::Panic));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = b.checkpoint(Phase::Mc);
+        }));
+        assert!(r.is_err(), "panic fault must panic");
+    }
+
+    #[test]
+    fn fault_spec_parsing() {
+        assert_eq!(
+            "smt:3".parse::<Fault>().unwrap(),
+            Fault {
+                phase: Phase::Smt,
+                at: 3,
+                kind: FaultKind::Error
+            }
+        );
+        assert_eq!(
+            "mc:1:panic".parse::<Fault>().unwrap(),
+            Fault {
+                phase: Phase::Mc,
+                at: 1,
+                kind: FaultKind::Panic
+            }
+        );
+        assert!("bogus:1".parse::<Fault>().is_err());
+        assert!("mc:0".parse::<Fault>().is_err());
+        assert!("mc".parse::<Fault>().is_err());
+        assert!("mc:1:panic:x".parse::<Fault>().is_err());
+    }
+
+    #[test]
+    fn display_reads_well() {
+        let e = BudgetError::with_detail(Phase::Mc, LimitKind::Steps, "search steps");
+        assert_eq!(e.to_string(), "mc: step limit (search steps)");
+        let e = BudgetError::new(Phase::Smt, LimitKind::Deadline);
+        assert_eq!(e.to_string(), "smt: deadline");
+    }
+}

@@ -30,7 +30,7 @@ pub fn gen_p(index: usize, deps: &[Var]) -> Predicate {
     let dep = rest % dep_choices;
     let k = rest / dep_choices;
     // 0, 1, -1, 2, -2, …
-    let c: i128 = if k % 2 == 0 {
+    let c: i128 = if k.is_multiple_of(2) {
         (k / 2) as i128
     } else {
         -(((k / 2) + 1) as i128)

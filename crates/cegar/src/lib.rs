@@ -23,10 +23,12 @@ pub mod shp;
 
 pub use enumerate::gen_p;
 pub use refine::{
-    check_feasibility, discover_predicates, refine_env, Feasibility, RefineError, RefineOptions,
-    Refinement,
+    check_feasibility, discover_predicates, discover_predicates_budgeted, refine_env,
+    refine_env_budgeted, Feasibility, RefineError, RefineOptions, Refinement,
 };
-pub use shp::{build_trace, Activation, Event, SymVal, Trace, TraceEnd, TraceError};
+pub use shp::{
+    build_trace, build_trace_budgeted, Activation, Event, SymVal, Trace, TraceEnd, TraceError,
+};
 
 #[cfg(test)]
 mod tests {

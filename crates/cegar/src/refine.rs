@@ -27,8 +27,11 @@
 use std::collections::BTreeMap;
 
 use homc_abs::{AbsEnv, AbsTy, Predicate};
+use homc_budget::{Budget, BudgetError, Phase};
 use homc_lang::kernel::{FunName, Program};
-use homc_smt::{interpolate, Formula, SatResult, SmtSolver, Var};
+use homc_smt::{
+    interpolate_budgeted, Formula, InterpError, InterpOptions, SatResult, SmtSolver, Var,
+};
 
 use crate::shp::{Event, Trace};
 use homc_smt::LinExpr;
@@ -66,8 +69,11 @@ pub enum Feasibility {
     Feasible(Vec<i64>),
     /// The path is spurious.
     Infeasible,
-    /// The solver could not decide (non-linear over-approximation or budget).
+    /// The solver could not decide (non-linear over-approximation or an
+    /// internal solver limit).
     Unknown,
+    /// The shared [`Budget`] preempted the feasibility check.
+    Exhausted(BudgetError),
 }
 
 /// A refinement: per-function scheme updates plus per-`rand` site updates,
@@ -115,11 +121,20 @@ impl Refinement {
 
 /// An error during refinement.
 #[derive(Clone, Debug)]
-pub struct RefineError(pub String);
+pub enum RefineError {
+    /// A resource budget ran out mid-refinement (deadline, fuel, injected
+    /// fault, or an interpolation query preempted by the shared budget).
+    Exhausted(BudgetError),
+    /// The trace or program violated an invariant refinement relies on.
+    Invalid(String),
+}
 
 impl std::fmt::Display for RefineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "refinement error: {}", self.0)
+        match self {
+            RefineError::Exhausted(e) => write!(f, "refinement budget exhausted: {e}"),
+            RefineError::Invalid(msg) => write!(f, "refinement error: {msg}"),
+        }
     }
 }
 
@@ -145,6 +160,7 @@ pub fn check_feasibility(trace: &Trace, solver: &SmtSolver) -> Feasibility {
         }
         SatResult::Unsat => Feasibility::Infeasible,
         SatResult::Unknown => Feasibility::Unknown,
+        SatResult::Exhausted(e) => Feasibility::Exhausted(e),
     }
 }
 
@@ -153,6 +169,19 @@ pub fn discover_predicates(
     program: &Program,
     trace: &Trace,
     opts: &RefineOptions,
+) -> Result<Refinement, RefineError> {
+    discover_predicates_budgeted(program, trace, opts, Budget::unlimited())
+}
+
+/// [`discover_predicates`] under a shared [`Budget`]: each cut point's
+/// interpolation is an `interp` checkpoint, and budget exhaustion inside
+/// the interpolation engine itself propagates out instead of being treated
+/// as an ordinary "no interpolant" failure.
+pub fn discover_predicates_budgeted(
+    program: &Program,
+    trace: &Trace,
+    opts: &RefineOptions,
+    budget: &Budget,
 ) -> Result<Refinement, RefineError> {
     let mut out = Refinement::default();
     // sym → original-name maps and (sym, index) lists, per activation.
@@ -254,9 +283,18 @@ pub fn discover_predicates(
         // different visibility).
         let mut solution = Formula::True;
         for a in [inductive_a, raw_a.clone()] {
-            if let Ok(interp) = interpolate(&a, &suffix) {
-                solution = interp;
-                break;
+            budget
+                .checkpoint(Phase::Interp)
+                .map_err(RefineError::Exhausted)?;
+            match interpolate_budgeted(&a, &suffix, InterpOptions::default(), budget) {
+                Ok(interp) => {
+                    solution = interp;
+                    break;
+                }
+                Err(InterpError::Exhausted(e)) => return Err(RefineError::Exhausted(e)),
+                // Not refutable / too large: fall back to the raw prefix, or
+                // settle for the trivial solution.
+                Err(_) => {}
             }
         }
         if !matches!(solution, Formula::True) {
@@ -345,7 +383,7 @@ fn record_predicate(
             let fname = trace.activations[*activation].def.clone();
             let def = program
                 .def(&fname)
-                .ok_or_else(|| RefineError(format!("unknown function {fname}")))?;
+                .ok_or_else(|| RefineError::Invalid(format!("unknown function {fname}")))?;
             // 1. The definition's own scheme. Dependencies must be this
             // activation's parameters; out-of-scope symbols are rewritten
             // to same-valued parameters when possible, otherwise the direct
@@ -592,11 +630,24 @@ pub fn refine_env(
     solver: &SmtSolver,
     opts: &RefineOptions,
 ) -> Result<(Feasibility, bool), RefineError> {
+    refine_env_budgeted(program, trace, env, solver, opts, Budget::unlimited())
+}
+
+/// [`refine_env`] under a shared [`Budget`]. A budget-exhausted feasibility
+/// check returns early — the caller decides whether to retry or give up.
+pub fn refine_env_budgeted(
+    program: &Program,
+    trace: &Trace,
+    env: &mut AbsEnv,
+    solver: &SmtSolver,
+    opts: &RefineOptions,
+    budget: &Budget,
+) -> Result<(Feasibility, bool), RefineError> {
     let feas = check_feasibility(trace, solver);
-    if matches!(feas, Feasibility::Feasible(_)) {
+    if matches!(feas, Feasibility::Feasible(_) | Feasibility::Exhausted(_)) {
         return Ok((feas, false));
     }
-    let refinement = discover_predicates(program, trace, opts)?;
+    let refinement = discover_predicates_budgeted(program, trace, opts, budget)?;
     let mut changed = env.refine(&refinement.fun_updates, &refinement.rand_updates);
     for u in &refinement.ho_updates {
         changed |= env.apply_ho_update(&u.def, &u.param, u.chain_pos, &u.pred);

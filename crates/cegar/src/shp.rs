@@ -24,6 +24,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use homc_budget::{Budget, BudgetError, Phase};
 use homc_lang::eval::Label;
 use homc_lang::kernel::{Const, Expr, FunName, Op, Program, Value};
 use homc_smt::{Atom, Formula, LinExpr, Var};
@@ -200,11 +201,25 @@ impl fmt::Display for Trace {
 
 /// An error during trace construction.
 #[derive(Clone, Debug)]
-pub struct TraceError(pub String);
+pub enum TraceError {
+    /// A resource budget ran out mid-trace (deadline, fuel, injected fault).
+    Exhausted(BudgetError),
+    /// The program violated an invariant trace construction relies on.
+    Invalid(String),
+}
+
+impl TraceError {
+    fn invalid(msg: impl Into<String>) -> TraceError {
+        TraceError::Invalid(msg.into())
+    }
+}
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace error: {}", self.0)
+        match self {
+            TraceError::Exhausted(e) => write!(f, "trace budget exhausted: {e}"),
+            TraceError::Invalid(msg) => write!(f, "trace error: {msg}"),
+        }
     }
 }
 
@@ -212,11 +227,23 @@ impl std::error::Error for TraceError {}
 
 /// Builds `SHP(D, σ)` for a CPS-normal kernel program along source labels.
 pub fn build_trace(program: &Program, labels: &[Label], fuel: u64) -> Result<Trace, TraceError> {
+    build_trace_budgeted(program, labels, fuel, Budget::unlimited())
+}
+
+/// [`build_trace`] with an explicit [`Budget`]: every execution step is a
+/// `feas` checkpoint, so deadlines and injected faults land here.
+pub fn build_trace_budgeted(
+    program: &Program,
+    labels: &[Label],
+    fuel: u64,
+    budget: &Budget,
+) -> Result<Trace, TraceError> {
     let mut tb = TraceBuilder {
         program,
         labels,
         pos: 0,
         fuel,
+        budget,
         counter: 0,
         events: Vec::new(),
         activations: Vec::new(),
@@ -233,7 +260,7 @@ pub fn build_trace(program: &Program, labels: &[Label], fuel: u64) -> Result<Tra
     let mut deps: Vec<Var> = Vec::new();
     for (x, t) in &main.params {
         if *t != homc_lang::types::SimpleTy::Int {
-            return Err(TraceError(format!("main parameter {x} is not an integer")));
+            return Err(TraceError::invalid(format!("main parameter {x} is not an integer")));
         }
         let s = tb.fresh(x.name());
         unknowns.push(s.clone());
@@ -264,6 +291,7 @@ struct TraceBuilder<'a> {
     labels: &'a [Label],
     pos: usize,
     fuel: u64,
+    budget: &'a Budget,
     counter: usize,
     events: Vec<Event>,
     activations: Vec<Activation>,
@@ -304,7 +332,7 @@ impl<'a> TraceBuilder<'a> {
             Value::Var(x) => env
                 .get(x)
                 .cloned()
-                .ok_or_else(|| TraceError(format!("unbound variable {x}")))?,
+                .ok_or_else(|| TraceError::invalid(format!("unbound variable {x}")))?,
             Value::Fun(f) => SymVal::Clo(f.clone(), Vec::new(), Vec::new()),
             Value::PApp(h, args) => {
                 let head = self.value(env, h)?;
@@ -317,7 +345,7 @@ impl<'a> TraceBuilder<'a> {
                         prev.append(&mut extra);
                         SymVal::Clo(f, prev, origins)
                     }
-                    other => return Err(TraceError(format!("applying non-closure {other:?}"))),
+                    other => return Err(TraceError::invalid(format!("applying non-closure {other:?}"))),
                 }
             }
         })
@@ -326,14 +354,14 @@ impl<'a> TraceBuilder<'a> {
     fn as_int(&mut self, v: SymVal) -> Result<LinExpr, TraceError> {
         match v {
             SymVal::Int(e) => Ok(e),
-            other => Err(TraceError(format!("expected int, got {other:?}"))),
+            other => Err(TraceError::invalid(format!("expected int, got {other:?}"))),
         }
     }
 
     fn as_bool(&mut self, v: SymVal) -> Result<Formula, TraceError> {
         match v {
             SymVal::Bool(f) => Ok(f),
-            other => Err(TraceError(format!("expected bool, got {other:?}"))),
+            other => Err(TraceError::invalid(format!("expected bool, got {other:?}"))),
         }
     }
 
@@ -404,6 +432,9 @@ impl<'a> TraceBuilder<'a> {
         mut deps: Vec<Var>,
     ) -> Result<TraceEnd, TraceError> {
         loop {
+            self.budget
+                .checkpoint(Phase::Feas)
+                .map_err(TraceError::Exhausted)?;
             if self.fuel == 0 {
                 return Ok(TraceEnd::OutOfFuel);
             }
@@ -453,7 +484,7 @@ impl<'a> TraceBuilder<'a> {
                             env.insert(x.clone(), SymVal::Int(LinExpr::var(s)));
                         }
                         other => {
-                            return Err(TraceError(format!(
+                            return Err(TraceError::invalid(format!(
                                 "non-trivial let rhs in CPS-normal program: {other}"
                             )))
                         }
@@ -467,13 +498,13 @@ impl<'a> TraceBuilder<'a> {
                         extra.push(self.value(&env, a)?);
                     }
                     let SymVal::Clo(fname, mut full, call_origins) = head else {
-                        return Err(TraceError("calling a non-closure".into()));
+                        return Err(TraceError::invalid("calling a non-closure"));
                     };
                     full.append(&mut extra);
                     let def = self
                         .program
                         .def(&fname)
-                        .ok_or_else(|| TraceError(format!("undefined function {fname}")))?;
+                        .ok_or_else(|| TraceError::invalid(format!("undefined function {fname}")))?;
                     // New activation: the paper's next function copy.
                     self.activations.push(Activation {
                         def: fname.clone(),

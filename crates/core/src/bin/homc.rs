@@ -1,35 +1,65 @@
 //! The `homc` command-line verifier.
 //!
 //! ```text
-//! homc <file.ml>       verify a source file
-//! homc --suite [name]  run the paper's Table 1 suite (or one program)
+//! homc [options] <file.ml>       verify a source file
+//! homc [options] --suite [name]  run the paper's Table 1 suite (or one program)
+//!
+//! options:
+//!   --timeout <secs>      per-program wall-clock deadline (fractions allowed)
+//!   --inject <phase:n[:kind]>  deterministically fail the n-th checkpoint of a
+//!                         phase (abs|mc|feas|interp|smt); kind is error|panic
 //! ```
+//!
+//! Every program reports exactly one of `safe`, `unsafe`, or `unknown`; the
+//! suite ends with a `passed/failed/unknown` tally and the exit code is
+//! non-zero iff some program *failed* (wrong verdict or hard error) —
+//! `unknown` under a tight budget is a reported outcome, not a failure.
 
+use std::io::Write;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use homc::{suite, verify, Expected, Verdict, VerifierOptions};
+use homc::{suite, verify, Expected, Fault, FaultPlan, Verdict, VerifierOptions};
 
 fn fmt_d(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
 
-fn run_one(name: &str, source: &str, expected: Option<Expected>) -> bool {
-    let opts = VerifierOptions::default();
-    match verify(source, &opts) {
+/// Prints a report line, tolerating a closed stdout (`homc … | head` must
+/// not panic on the broken pipe).
+fn say(line: std::fmt::Arguments) {
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+/// How one program's run is tallied.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunStatus {
+    /// The verdict matched the expectation (or any decisive verdict, when
+    /// there is no expectation).
+    Passed,
+    /// Wrong verdict or a hard error.
+    Failed,
+    /// The verifier gave up (budget, fault, inconclusive solver).
+    Unknown,
+}
+
+fn run_one(name: &str, source: &str, expected: Option<Expected>, opts: &VerifierOptions) -> RunStatus {
+    match verify(source, opts) {
         Ok(out) => {
             let v = match &out.verdict {
                 Verdict::Safe => "safe".to_string(),
                 Verdict::Unsafe { .. } => "unsafe".to_string(),
-                Verdict::Unknown { reason } => format!("unknown({reason:?})"),
+                Verdict::Unknown { reason } => format!("unknown ({reason})"),
             };
-            let ok = match expected {
-                None => true,
-                Some(Expected::Safe) => out.verdict.is_safe(),
-                Some(Expected::Unsafe) => out.verdict.is_unsafe(),
-                Some(Expected::Diverges) => !out.verdict.is_unsafe(),
+            let status = match (&out.verdict, expected) {
+                (Verdict::Unknown { .. }, _) => RunStatus::Unknown,
+                (_, None) => RunStatus::Passed,
+                (_, Some(Expected::Safe)) if out.verdict.is_safe() => RunStatus::Passed,
+                (_, Some(Expected::Unsafe)) if out.verdict.is_unsafe() => RunStatus::Passed,
+                (_, Some(Expected::Diverges)) if !out.verdict.is_unsafe() => RunStatus::Passed,
+                _ => RunStatus::Failed,
             };
-            println!(
+            say(format_args!(
                 "{name:12} S={:4} O={} C={:2}  abst={} mc={} cegar={} total={}  -> {v}{}",
                 out.size,
                 out.order,
@@ -38,54 +68,145 @@ fn run_one(name: &str, source: &str, expected: Option<Expected>) -> bool {
                 fmt_d(out.stats.mc),
                 fmt_d(out.stats.cegar),
                 fmt_d(out.stats.total),
-                if ok { "" } else { "  ** UNEXPECTED **" },
-            );
-            ok
+                if status == RunStatus::Failed {
+                    "  ** UNEXPECTED **"
+                } else {
+                    ""
+                },
+            ));
+            status
         }
         Err(e) => {
-            println!("{name:12} ERROR: {e}");
-            false
+            eprintln!("{name}: error: {e}");
+            RunStatus::Failed
         }
     }
 }
 
+struct Cli {
+    timeout: Option<Duration>,
+    faults: FaultPlan,
+    suite: bool,
+    target: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] (<file.ml> | --suite [program])"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        timeout: None,
+        faults: FaultPlan::none(),
+        suite: false,
+        target: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                let v = args.get(i + 1).ok_or("--timeout needs a value")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --timeout value {v:?}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--timeout must be positive, got {v:?}"));
+                }
+                cli.timeout = Some(Duration::from_secs_f64(secs));
+                i += 2;
+            }
+            "--inject" => {
+                let v = args.get(i + 1).ok_or("--inject needs a value")?;
+                let fault: Fault = v.parse().map_err(|e| format!("{e}"))?;
+                cli.faults.push(fault);
+                i += 2;
+            }
+            "--suite" => {
+                cli.suite = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            other => {
+                if cli.target.is_some() {
+                    return Err(format!("unexpected extra argument {other:?}"));
+                }
+                cli.target = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    Ok(cli)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("--suite") => {
-            let filter = args.get(1).cloned();
-            let mut all_ok = true;
-            for p in suite::SUITE {
-                if let Some(f) = &filter {
-                    if p.name != f {
-                        continue;
-                    }
+    if args.is_empty() {
+        return usage();
+    }
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("homc: {e}");
+            return usage();
+        }
+    };
+    // The budget (deadline + fault plan) is per program: each run_one call
+    // builds a fresh Budget from these options.
+    let opts = VerifierOptions {
+        timeout: cli.timeout,
+        faults: cli.faults.clone(),
+        ..VerifierOptions::default()
+    };
+
+    if cli.suite {
+        let filter = cli.target;
+        let (mut passed, mut failed, mut unknown) = (0usize, 0usize, 0usize);
+        let mut matched = false;
+        for p in suite::SUITE {
+            if let Some(f) = &filter {
+                if p.name != f {
+                    continue;
                 }
-                all_ok &= run_one(p.name, p.source, Some(p.expected));
             }
-            if all_ok {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
+            matched = true;
+            match run_one(p.name, p.source, Some(p.expected), &opts) {
+                RunStatus::Passed => passed += 1,
+                RunStatus::Failed => failed += 1,
+                RunStatus::Unknown => unknown += 1,
             }
         }
-        Some(path) => {
-            let src = match std::fs::read_to_string(path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if run_one(path, &src, None) {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
+        if !matched {
+            eprintln!(
+                "homc: no suite program named {:?}",
+                filter.as_deref().unwrap_or("")
+            );
+            return ExitCode::FAILURE;
         }
-        None => {
-            eprintln!("usage: homc <file.ml> | homc --suite [program]");
+        say(format_args!(
+            "passed {passed}, failed {failed}, unknown {unknown}"
+        ));
+        if failed == 0 {
+            ExitCode::SUCCESS
+        } else {
             ExitCode::FAILURE
+        }
+    } else {
+        let Some(path) = cli.target else {
+            return usage();
+        };
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("homc: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match run_one(&path, &src, None, &opts) {
+            RunStatus::Failed => ExitCode::FAILURE,
+            RunStatus::Passed | RunStatus::Unknown => ExitCode::SUCCESS,
         }
     }
 }

@@ -46,6 +46,9 @@
 pub mod suite;
 pub mod verifier;
 
+pub use homc_budget::{
+    Budget, BudgetError, Fault, FaultKind, FaultPlan, FaultSpecError, LimitKind, Phase,
+};
 pub use suite::{Expected, SuiteProgram, SUITE};
 pub use verifier::{
     verify, verify_compiled, UnknownReason, Verdict, VerifierOptions, VerifyError, VerifyOutcome,

@@ -9,17 +9,35 @@
 //!                                                  ▼
 //!                                   SAFE ◀── no path      UNSAFE + witness
 //! ```
+//!
+//! # Resource model
+//!
+//! Every phase of the loop runs under a shared [`Budget`]: a wall-clock
+//! deadline, an optional fuel cap, and a deterministic fault-injection plan
+//! ([`FaultPlan`], driven by `homc --inject`). Exhaustion in any phase
+//! surfaces as [`Verdict::Unknown`] with a structured
+//! [`UnknownReason::Budget`] — never a panic, never a hang. Panics escaping
+//! a phase (including injected ones) are caught per CEGAR iteration and
+//! reported as [`UnknownReason::InternalFault`]. When a *retryable* limit
+//! (search steps, table size, trace fuel — not the deadline) stopped the
+//! run, the loop restarts once with limits scaled ×4 before giving up.
 
+use std::cell::Cell;
 use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
-use homc_abs::{abstract_program, AbsEnv, AbsOptions};
-use homc_cegar::{build_trace, refine_env, Feasibility, RefineOptions, TraceEnd};
-use homc_hbp::check::{CheckLimits, Checker};
+use homc_abs::{abstract_program_budgeted, AbsEnv, AbsError, AbsOptions};
+use homc_cegar::{
+    build_trace_budgeted, refine_env_budgeted, Feasibility, RefineError, RefineOptions, TraceEnd,
+    TraceError,
+};
+use homc_hbp::check::{CheckError, CheckLimits, Checker};
 use homc_hbp::{find_error_path, source_labels};
 use homc_lang::eval::Label;
 use homc_lang::{frontend, Compiled};
-use homc_smt::SmtSolver;
+use homc_smt::{Budget, BudgetError, FaultPlan, SmtSolver};
 
 /// Options controlling the verifier.
 #[derive(Clone, Debug)]
@@ -34,6 +52,12 @@ pub struct VerifierOptions {
     pub refine: RefineOptions,
     /// Fuel for symbolic replay of error paths.
     pub trace_fuel: u64,
+    /// Wall-clock deadline for the whole run (all phases combined).
+    pub timeout: Option<Duration>,
+    /// Cap on total budget checkpoints across all phases.
+    pub fuel: Option<u64>,
+    /// Deterministic fault-injection plan (testing/robustness harness).
+    pub faults: FaultPlan,
 }
 
 impl Default for VerifierOptions {
@@ -44,6 +68,9 @@ impl Default for VerifierOptions {
             check: CheckLimits::default(),
             refine: RefineOptions::default(),
             trace_fuel: 200_000,
+            timeout: None,
+            fuel: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -89,11 +116,31 @@ pub enum UnknownReason {
     IterationsExhausted,
     /// Refinement found no new predicate for a spurious path.
     NoProgress,
-    /// The model checker or a solver exceeded its resource limits.
-    Budget(String),
+    /// A resource budget ran out: the phase that stopped and which limit
+    /// (deadline, fuel, steps, size, or an injected fault).
+    Budget(BudgetError),
+    /// The abstract error path did not replay to `fail` in the source
+    /// program (abstraction/label mismatch).
+    ReplayMismatch(String),
     /// A solver returned an inconclusive answer (e.g. non-linear
     /// arithmetic was over-approximated on a candidate counterexample).
     Inconclusive,
+    /// A phase panicked (bug or injected fault); the loop caught it and
+    /// degraded to `Unknown` instead of aborting.
+    InternalFault(String),
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::IterationsExhausted => write!(f, "iteration limit reached"),
+            UnknownReason::NoProgress => write!(f, "refinement made no progress"),
+            UnknownReason::Budget(e) => write!(f, "budget exhausted in {e}"),
+            UnknownReason::ReplayMismatch(msg) => write!(f, "replay mismatch: {msg}"),
+            UnknownReason::Inconclusive => write!(f, "solver was inconclusive"),
+            UnknownReason::InternalFault(msg) => write!(f, "internal fault: {msg}"),
+        }
+    }
 }
 
 impl fmt::Display for Verdict {
@@ -101,7 +148,7 @@ impl fmt::Display for Verdict {
         match self {
             Verdict::Safe => write!(f, "safe"),
             Verdict::Unsafe { witness, .. } => write!(f, "unsafe (witness {witness:?})"),
-            Verdict::Unknown { reason } => write!(f, "unknown ({reason:?})"),
+            Verdict::Unknown { reason } => write!(f, "unknown ({reason})"),
         }
     }
 }
@@ -124,6 +171,8 @@ pub struct VerifyStats {
     pub predicates: usize,
     /// Size of the final boolean program (AST nodes).
     pub final_hbp_size: usize,
+    /// Number of full-loop restarts after a retryable budget exhaustion.
+    pub retries: usize,
 }
 
 /// The result of a verification run.
@@ -157,6 +206,53 @@ pub fn verify(src: &str, opts: &VerifierOptions) -> Result<VerifyOutcome, Verify
     verify_compiled(&compiled, opts)
 }
 
+thread_local! {
+    static TRAPPING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f`, converting a panic into `Err(message)`. While trapping, the
+/// default panic hook's backtrace spew is suppressed on this thread (the
+/// panic is an expected degradation path, not a crash).
+fn trap_panics<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !TRAPPING.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+    TRAPPING.with(|t| t.set(true));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+    TRAPPING.with(|t| t.set(false));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+/// What one CEGAR iteration decided.
+enum IterOutcome {
+    /// Verdict reached; stop.
+    Done(Verdict),
+    /// Environment refined; run another iteration.
+    Continue,
+}
+
+/// Scales retryable limits ×4 for the escalation retry.
+fn escalate(limits: &mut CheckLimits, trace_fuel: &mut u64) {
+    limits.max_base_combos = limits.max_base_combos.saturating_mul(4);
+    limits.max_typings = limits.max_typings.saturating_mul(4);
+    limits.max_search_steps = limits.max_search_steps.saturating_mul(4);
+    *trace_fuel = trace_fuel.saturating_mul(4);
+}
+
 /// Verifies an already-compiled program.
 pub fn verify_compiled(
     compiled: &Compiled,
@@ -164,112 +260,58 @@ pub fn verify_compiled(
 ) -> Result<VerifyOutcome, VerifyError> {
     let start = Instant::now();
     let mut stats = VerifyStats::default();
-    let solver = SmtSolver::new();
+    let budget = Arc::new(Budget::new(opts.timeout, opts.fuel, opts.faults.clone()));
+    let solver = SmtSolver::with_budget(budget.clone());
     let mut env = AbsEnv::initial(&compiled.cps);
-    let mut verdict = Verdict::Unknown {
-        reason: UnknownReason::IterationsExhausted,
-    };
+    let mut check_limits = opts.check;
+    let mut trace_fuel = opts.trace_fuel;
+    let mut verdict;
 
-    for iteration in 0..opts.max_iterations {
-        // Step 1: predicate abstraction.
-        let t = Instant::now();
-        let abs_result = abstract_program(&compiled.cps, &env, &opts.abs);
-        stats.abst += t.elapsed();
-        let bp = match abs_result {
-            Ok((bp, _)) => bp,
-            Err(e) => {
-                verdict = Verdict::Unknown {
-                    reason: UnknownReason::Budget(format!("abstraction: {e}")),
-                };
-                break;
-            }
+    'attempts: loop {
+        verdict = Verdict::Unknown {
+            reason: UnknownReason::IterationsExhausted,
         };
-        stats.final_hbp_size = bp.size();
-
-        // Step 2: higher-order model checking.
-        let t = Instant::now();
-        let mc = (|| {
-            let mut checker = Checker::new(&bp, opts.check)?;
-            checker.saturate()?;
-            if !checker.may_fail() {
-                return Ok(None);
-            }
-            find_error_path(&mut checker)
-        })();
-        stats.mc += t.elapsed();
-        let path = match mc {
-            Ok(None) => {
-                verdict = Verdict::Safe;
-                break;
-            }
-            Ok(Some(p)) => p,
-            Err(e) => {
-                verdict = Verdict::Unknown {
-                    reason: UnknownReason::Budget(format!("model checking: {e}")),
-                };
-                break;
-            }
-        };
-
-        // Steps 3–4: feasibility and refinement.
-        let t = Instant::now();
-        let labels = source_labels(&path);
-        let trace = match build_trace(&compiled.cps, &labels, opts.trace_fuel) {
-            Ok(tr) => tr,
-            Err(e) => {
-                stats.cegar += t.elapsed();
-                verdict = Verdict::Unknown {
-                    reason: UnknownReason::Budget(format!("trace: {e}")),
-                };
-                break;
-            }
-        };
-        if trace.end != TraceEnd::ReachedFail {
-            stats.cegar += t.elapsed();
-            verdict = Verdict::Unknown {
-                reason: UnknownReason::Budget(format!(
-                    "abstract path did not replay to fail: {:?}",
-                    trace.end
-                )),
-            };
-            break;
-        }
-        let refine_opts = RefineOptions {
-            iteration,
-            ..opts.refine
-        };
-        let refined = refine_env(&compiled.cps, &trace, &mut env, &solver, &refine_opts);
-        stats.cegar += t.elapsed();
-        stats.cycles = iteration + 1;
-        match refined {
-            Ok((Feasibility::Feasible(witness), _)) => {
-                verdict = Verdict::Unsafe {
-                    witness,
-                    path: labels,
-                };
-                break;
-            }
-            Ok((Feasibility::Unknown, _)) => {
-                verdict = Verdict::Unknown {
-                    reason: UnknownReason::Inconclusive,
-                };
-                break;
-            }
-            Ok((Feasibility::Infeasible, changed)) => {
-                if !changed {
+        for iteration in 0..opts.max_iterations {
+            let outcome = trap_panics(|| {
+                run_iteration(
+                    compiled,
+                    opts,
+                    check_limits,
+                    trace_fuel,
+                    iteration,
+                    &budget,
+                    &solver,
+                    &mut env,
+                    &mut stats,
+                )
+            });
+            match outcome {
+                Ok(IterOutcome::Continue) => {}
+                Ok(IterOutcome::Done(v)) => {
+                    verdict = v;
+                    break;
+                }
+                Err(message) => {
                     verdict = Verdict::Unknown {
-                        reason: UnknownReason::NoProgress,
+                        reason: UnknownReason::InternalFault(message),
                     };
                     break;
                 }
-                // Continue the loop with the refined environment.
             }
-            Err(e) => {
-                verdict = Verdict::Unknown {
-                    reason: UnknownReason::Budget(format!("refinement: {e}")),
-                };
-                break;
+        }
+        // Retry-with-escalation: one restart when a *retryable* limit (not
+        // the deadline, not an injected fault) stopped the run. The budget
+        // is shared across attempts, so the deadline stays global and
+        // already-fired injections do not re-fire.
+        match &verdict {
+            Verdict::Unknown {
+                reason: UnknownReason::Budget(e),
+            } if stats.retries == 0 && e.retryable() => {
+                stats.retries += 1;
+                escalate(&mut check_limits, &mut trace_fuel);
+                continue 'attempts;
             }
+            _ => break 'attempts,
         }
     }
 
@@ -281,6 +323,113 @@ pub fn verify_compiled(
         size: compiled.size,
         order: compiled.order,
     })
+}
+
+/// One CEGAR iteration: abstract, model-check, and — when an abstract error
+/// path exists — check feasibility and refine.
+#[allow(clippy::too_many_arguments)]
+fn run_iteration(
+    compiled: &Compiled,
+    opts: &VerifierOptions,
+    check_limits: CheckLimits,
+    trace_fuel: u64,
+    iteration: usize,
+    budget: &Arc<Budget>,
+    solver: &SmtSolver,
+    env: &mut AbsEnv,
+    stats: &mut VerifyStats,
+) -> IterOutcome {
+    let unknown = |reason: UnknownReason| IterOutcome::Done(Verdict::Unknown { reason });
+
+    // Step 1: predicate abstraction.
+    let t = Instant::now();
+    let abs_result = abstract_program_budgeted(&compiled.cps, env, &opts.abs, Some(budget.clone()));
+    stats.abst += t.elapsed();
+    let bp = match abs_result {
+        Ok((bp, _)) => bp,
+        Err(AbsError::Exhausted(e)) => return unknown(UnknownReason::Budget(e)),
+        Err(AbsError::Invalid(msg)) => {
+            return unknown(UnknownReason::InternalFault(format!("abstraction: {msg}")))
+        }
+    };
+    stats.final_hbp_size = bp.size();
+
+    // Step 2: higher-order model checking.
+    let t = Instant::now();
+    let mc = (|| {
+        let mut checker = Checker::with_budget(&bp, check_limits, budget)?;
+        checker.saturate()?;
+        if !checker.may_fail() {
+            return Ok(None);
+        }
+        find_error_path(&mut checker)
+    })();
+    stats.mc += t.elapsed();
+    let path = match mc {
+        Ok(None) => return IterOutcome::Done(Verdict::Safe),
+        Ok(Some(p)) => p,
+        Err(CheckError::Budget(e)) => return unknown(UnknownReason::Budget(e)),
+        Err(e) => {
+            return unknown(UnknownReason::InternalFault(format!("model checking: {e}")))
+        }
+    };
+
+    // Steps 3–4: feasibility and refinement.
+    let t = Instant::now();
+    let labels = source_labels(&path);
+    let trace = match build_trace_budgeted(&compiled.cps, &labels, trace_fuel, budget) {
+        Ok(tr) => tr,
+        Err(e) => {
+            stats.cegar += t.elapsed();
+            return match e {
+                TraceError::Exhausted(b) => unknown(UnknownReason::Budget(b)),
+                TraceError::Invalid(msg) => {
+                    unknown(UnknownReason::InternalFault(format!("trace: {msg}")))
+                }
+            };
+        }
+    };
+    if trace.end == TraceEnd::OutOfFuel {
+        stats.cegar += t.elapsed();
+        return unknown(UnknownReason::Budget(BudgetError::with_detail(
+            homc_smt::Phase::Feas,
+            homc_smt::LimitKind::Fuel,
+            format!("trace replay ran out of fuel ({trace_fuel} steps)"),
+        )));
+    }
+    if trace.end != TraceEnd::ReachedFail {
+        stats.cegar += t.elapsed();
+        return unknown(UnknownReason::ReplayMismatch(format!(
+            "abstract path did not replay to fail: {:?}",
+            trace.end
+        )));
+    }
+    let refine_opts = RefineOptions {
+        iteration,
+        ..opts.refine
+    };
+    let refined = refine_env_budgeted(&compiled.cps, &trace, env, solver, &refine_opts, budget);
+    stats.cegar += t.elapsed();
+    stats.cycles = iteration + 1;
+    match refined {
+        Ok((Feasibility::Feasible(witness), _)) => IterOutcome::Done(Verdict::Unsafe {
+            witness,
+            path: labels,
+        }),
+        Ok((Feasibility::Unknown, _)) => unknown(UnknownReason::Inconclusive),
+        Ok((Feasibility::Exhausted(e), _)) => unknown(UnknownReason::Budget(e)),
+        Ok((Feasibility::Infeasible, changed)) => {
+            if !changed {
+                unknown(UnknownReason::NoProgress)
+            } else {
+                IterOutcome::Continue
+            }
+        }
+        Err(RefineError::Exhausted(e)) => unknown(UnknownReason::Budget(e)),
+        Err(RefineError::Invalid(msg)) => {
+            unknown(UnknownReason::InternalFault(format!("refinement: {msg}")))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +498,34 @@ mod tests {
         .expect("runs");
         assert!(out.stats.cycles >= 1, "CEGAR must iterate at least once");
         assert_eq!(out.order, 2);
+    }
+
+    #[test]
+    fn retryable_exhaustion_escalates_once() {
+        // Limits so tight the first attempt must die on a retryable bound;
+        // the escalated retry (×4) then verifies intro1.
+        let opts = VerifierOptions {
+            check: CheckLimits {
+                max_search_steps: 2_000,
+                ..CheckLimits::default()
+            },
+            ..VerifierOptions::default()
+        };
+        let out = verify(
+            "let f x g = g (x + 1) in
+             let h y = assert (y > 0) in
+             let k n = if n > 0 then f n h else () in
+             k m",
+            &opts,
+        )
+        .expect("runs");
+        // Either the tight limit sufficed (no retry) or the retry fixed it;
+        // in both cases the verdict must not be a panic or a hang.
+        match out.verdict {
+            Verdict::Safe => {}
+            Verdict::Unknown { .. } => {}
+            other => panic!("unexpected verdict {other}"),
+        }
     }
 }
 

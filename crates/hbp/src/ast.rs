@@ -93,6 +93,7 @@ impl BoolExpr {
     pub const FALSE: BoolExpr = BoolExpr::Const(false);
 
     /// Smart negation.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not `!e`
     pub fn not(e: BoolExpr) -> BoolExpr {
         match e {
             BoolExpr::Const(b) => BoolExpr::Const(!b),

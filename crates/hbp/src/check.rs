@@ -25,6 +25,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use homc_budget::{Budget, BudgetError, LimitKind, Phase};
 use homc_smt::Var;
 
 use crate::ast::{BDef, BExpr, BProgram, BTy, BVal, FunName};
@@ -105,17 +106,25 @@ pub type Reqs = BTreeMap<Var, BTreeSet<ArrowTy>>;
 pub enum CheckError {
     /// A base type wider than 64 booleans (cannot pack).
     TupleTooWide(usize),
-    /// The enumeration/search budget was exhausted.
-    Budget(String),
+    /// A resource limit was hit — either a [`CheckLimits`] bound or the
+    /// shared [`Budget`] (deadline / fuel / injected fault).
+    Budget(BudgetError),
     /// The program is not well-formed.
     IllFormed(String),
+}
+
+impl CheckError {
+    /// Builds the structured budget error for a [`CheckLimits`] bound.
+    fn limit(kind: LimitKind, detail: String) -> CheckError {
+        CheckError::Budget(BudgetError::with_detail(Phase::Mc, kind, detail))
+    }
 }
 
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckError::TupleTooWide(n) => write!(f, "tuple of width {n} exceeds 64"),
-            CheckError::Budget(s) => write!(f, "model-checking budget exhausted: {s}"),
+            CheckError::Budget(e) => write!(f, "model-checking budget exhausted: {e}"),
             CheckError::IllFormed(s) => write!(f, "ill-formed boolean program: {s}"),
         }
     }
@@ -165,6 +174,7 @@ pub struct Checker<'p> {
     arity: BTreeMap<FunName, usize>,
     gamma: Gamma,
     limits: CheckLimits,
+    budget: &'p Budget,
     steps: usize,
     stats: CheckStats,
     /// Demand-driven base-value flows: the concrete tuples observed flowing
@@ -176,8 +186,19 @@ pub struct Checker<'p> {
 }
 
 impl<'p> Checker<'p> {
-    /// Prepares a checker (runs the flow analysis).
+    /// Prepares a checker (runs the flow analysis) with no shared budget.
     pub fn new(program: &'p BProgram, limits: CheckLimits) -> Result<Checker<'p>, CheckError> {
+        Checker::with_budget(program, limits, Budget::unlimited())
+    }
+
+    /// Prepares a checker that also checkpoints a shared [`Budget`]
+    /// ([`Phase::Mc`], once per search step) so a wall-clock deadline or an
+    /// injected fault can preempt saturation mid-search.
+    pub fn with_budget(
+        program: &'p BProgram,
+        limits: CheckLimits,
+        budget: &'p Budget,
+    ) -> Result<Checker<'p>, CheckError> {
         program.check().map_err(CheckError::IllFormed)?;
         for d in &program.defs {
             for (_, t) in &d.params {
@@ -194,14 +215,17 @@ impl<'p> Checker<'p> {
             .iter()
             .map(|d| (d.name.clone(), d.params.len()))
             .collect();
-        let mut stats = CheckStats::default();
-        stats.flow_facts = flows.fact_count();
+        let stats = CheckStats {
+            flow_facts: flows.fact_count(),
+            ..CheckStats::default()
+        };
         Ok(Checker {
             program,
             flows,
             arity,
             gamma: Gamma::default(),
             limits,
+            budget,
             steps: 0,
             stats,
             base_flow: BTreeMap::new(),
@@ -285,10 +309,10 @@ impl<'p> Checker<'p> {
                             changed = true;
                         }
                         if self.gamma.len() > self.limits.max_typings {
-                            return Err(CheckError::Budget(format!(
-                                "more than {} typings",
-                                self.limits.max_typings
-                            )));
+                            return Err(CheckError::limit(
+                                LimitKind::Size,
+                                format!("more than {} typings", self.limits.max_typings),
+                            ));
                         }
                     }
                 }
@@ -333,10 +357,10 @@ impl<'p> Checker<'p> {
         }
         let total: usize = per_pos.iter().map(Vec::len).product();
         if total > self.limits.max_base_combos {
-            return Err(CheckError::Budget(format!(
-                "{} base combinations for {}",
-                total, d.name
-            )));
+            return Err(CheckError::limit(
+                LimitKind::Size,
+                format!("{} base combinations for {}", total, d.name),
+            ));
         }
         let mut out = vec![Vec::new()];
         for opts in per_pos {
@@ -354,9 +378,15 @@ impl<'p> Checker<'p> {
     }
 
     fn step(&mut self) -> Result<(), CheckError> {
+        self.budget
+            .checkpoint(Phase::Mc)
+            .map_err(CheckError::Budget)?;
         self.steps += 1;
         if self.steps > self.limits.max_search_steps {
-            return Err(CheckError::Budget("search steps".into()));
+            return Err(CheckError::limit(
+                LimitKind::Steps,
+                format!("more than {} search steps", self.limits.max_search_steps),
+            ));
         }
         Ok(())
     }
@@ -699,7 +729,16 @@ fn dedup(v: &mut Vec<Reqs>) {
 
 /// Convenience wrapper: saturate and report whether `main` may fail.
 pub fn model_check(program: &BProgram, limits: CheckLimits) -> Result<(bool, CheckStats), CheckError> {
-    let mut c = Checker::new(program, limits)?;
+    model_check_budgeted(program, limits, Budget::unlimited())
+}
+
+/// [`model_check`] under a shared [`Budget`].
+pub fn model_check_budgeted(
+    program: &BProgram,
+    limits: CheckLimits,
+    budget: &Budget,
+) -> Result<(bool, CheckStats), CheckError> {
+    let mut c = Checker::with_budget(program, limits, budget)?;
     c.saturate()?;
     Ok((c.may_fail(), c.stats()))
 }

@@ -57,5 +57,5 @@ pub mod flow;
 pub mod path;
 
 pub use ast::{source_labels, BDef, BExpr, BProgram, BTy, BVal, BoolExpr, FunName, Label, PathLabel};
-pub use check::{model_check, CheckError, CheckLimits, CheckStats, Checker};
+pub use check::{model_check, model_check_budgeted, CheckError, CheckLimits, CheckStats, Checker};
 pub use path::find_error_path;

@@ -35,9 +35,11 @@ pub fn find_error_path(checker: &mut Checker<'_>) -> Result<Option<Vec<PathLabel
         }
         depth *= 2;
         if depth > 1 << 16 {
-            return Err(CheckError::Budget(
-                "counterexample extraction exceeded the depth budget".into(),
-            ));
+            return Err(CheckError::Budget(homc_budget::BudgetError::with_detail(
+                homc_budget::Phase::Mc,
+                homc_budget::LimitKind::Steps,
+                "counterexample extraction exceeded the depth budget",
+            )));
         }
     }
 }

@@ -125,29 +125,29 @@ fn tr_expr(e: &BExpr, env: &BTreeMap<String, Term>) -> Term {
                     env2.insert(x.name().to_string(), tr_val(v, env));
                 }
             }
-            tr_rhs_choices(rhs, env, tr_expr(body, &env2))
+            tr_rhs_choices(rhs, tr_expr(body, &env2))
         }
     }
 }
 
 /// Prefixes a translated body with the choice structure of an (erased) let
 /// right-hand side.
-fn tr_rhs_choices(rhs: &BExpr, env: &BTreeMap<String, Term>, tail: Term) -> Term {
+fn tr_rhs_choices(rhs: &BExpr, tail: Term) -> Term {
     match rhs {
         BExpr::Value(_) => tail,
         BExpr::SChoice(l, r) => Term::Terminal("br_s".to_string()).app([
-            tr_rhs_choices(l, env, tail.clone()),
-            tr_rhs_choices(r, env, tail),
+            tr_rhs_choices(l, tail.clone()),
+            tr_rhs_choices(r, tail),
         ]),
         BExpr::AChoice(l, r) => Term::Terminal("br_a".to_string()).app([
-            tr_rhs_choices(l, env, tail.clone()),
-            tr_rhs_choices(r, env, tail),
+            tr_rhs_choices(l, tail.clone()),
+            tr_rhs_choices(r, tail),
         ]),
         BExpr::Assume(_, e) => Term::Terminal("br_a".to_string())
-            .app([tr_rhs_choices(e, env, tail), Term::Terminal("end".to_string())]),
+            .app([tr_rhs_choices(e, tail), Term::Terminal("end".to_string())]),
         BExpr::Let(_, r, b) => {
-            let inner = tr_rhs_choices(b, env, tail);
-            tr_rhs_choices(r, env, inner)
+            let inner = tr_rhs_choices(b, tail);
+            tr_rhs_choices(r, inner)
         }
         BExpr::Call(_, _) | BExpr::Fail => tail,
     }

@@ -84,6 +84,7 @@ impl Formula {
     }
 
     /// Smart negation: folds constants and double negations.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not `!f`
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,

@@ -12,6 +12,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use homc_budget::{Budget, BudgetError, Phase};
+
 use crate::fm::{int_sat, rational_sat, FarkasCert, IntResult, RatResult};
 use crate::formula::{Formula, Literal};
 use crate::linexpr::{Atom, LinExpr, Rel, Var};
@@ -25,6 +27,8 @@ pub enum InterpError {
     NotRefutable,
     /// The DNF of one side exceeded the cube limit.
     TooLarge,
+    /// The shared [`Budget`] preempted the computation.
+    Exhausted(BudgetError),
 }
 
 impl fmt::Display for InterpError {
@@ -32,6 +36,7 @@ impl fmt::Display for InterpError {
         match self {
             InterpError::NotRefutable => write!(f, "A && B is not refutable"),
             InterpError::TooLarge => write!(f, "DNF cube limit exceeded"),
+            InterpError::Exhausted(e) => write!(f, "budget exhausted: {e}"),
         }
     }
 }
@@ -67,6 +72,18 @@ pub fn interpolate_with(
     b: &Formula,
     opts: InterpOptions,
 ) -> Result<Formula, InterpError> {
+    interpolate_budgeted(a, b, opts, Budget::unlimited())
+}
+
+/// [`interpolate_with`] under a shared [`Budget`]: one [`Phase::Smt`]
+/// checkpoint per cube pair, so even degenerate DNFs cannot overrun a
+/// deadline by more than one pairwise interpolation.
+pub fn interpolate_budgeted(
+    a: &Formula,
+    b: &Formula,
+    opts: InterpOptions,
+    budget: &Budget,
+) -> Result<Formula, InterpError> {
     let a_cubes = a.dnf(opts.dnf_limit).ok_or(InterpError::TooLarge)?;
     let b_cubes = b.dnf(opts.dnf_limit).ok_or(InterpError::TooLarge)?;
     // A ≡ false: interpolant false. B ≡ false: interpolant true.
@@ -80,6 +97,9 @@ pub fn interpolate_with(
     for ac in &a_cubes {
         let mut conjuncts = Vec::new();
         for bc in &b_cubes {
+            budget
+                .checkpoint(Phase::Smt)
+                .map_err(InterpError::Exhausted)?;
             conjuncts.push(cube_interpolant(ac, bc, opts)?);
         }
         disjuncts.push(Formula::and(conjuncts));

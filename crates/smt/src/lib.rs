@@ -47,7 +47,11 @@ mod solver;
 
 pub use fm::{check_certificate, int_sat, rational_sat, FarkasCert, IntResult, RatResult};
 pub use formula::{Formula, Literal};
-pub use interp::{interpolate, interpolate_with, is_interpolant, InterpError, InterpOptions};
+pub use homc_budget::{Budget, BudgetError, FaultKind, FaultPlan, LimitKind, Phase};
+pub use interp::{
+    interpolate, interpolate_budgeted, interpolate_with, is_interpolant, InterpError,
+    InterpOptions,
+};
 pub use linexpr::{Atom, LinExpr, Rel, Var};
 pub use rat::{gcd, Rat};
-pub use solver::{Model, SatResult, SmtSolver};
+pub use solver::{Model, SatResult, SmtSolver, SolverLimits, SolverOutcome};

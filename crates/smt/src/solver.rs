@@ -8,6 +8,9 @@
 //! the paper's implementation (§6).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use homc_budget::{Budget, BudgetError, Phase};
 
 use crate::fm::{int_sat, rational_sat, IntResult, RatResult};
 use crate::formula::Formula;
@@ -53,7 +56,14 @@ pub enum SatResult {
     Unsat,
     /// The integer branch & bound limit was exhausted somewhere.
     Unknown,
+    /// The shared [`Budget`] preempted the query (deadline, fuel, or an
+    /// injected fault) before the solver could decide it.
+    Exhausted(BudgetError),
 }
+
+/// Alias emphasizing that a solver call has four outcomes, not three: the
+/// budget can preempt it.
+pub type SolverOutcome = SatResult;
 
 impl SatResult {
     /// `true` iff the result is `Sat`.
@@ -63,26 +73,63 @@ impl SatResult {
 }
 
 /// The QF_LIA + booleans solver, with tunable search limits.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SmtSolver {
+    limits: SolverLimits,
+    budget: Option<Arc<Budget>>,
+}
+
+/// Tunable search limits of the solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverLimits {
     /// Maximum branch & bound depth for integer reasoning.
     pub bb_depth: u32,
 }
 
-impl Default for SmtSolver {
-    fn default() -> SmtSolver {
-        SmtSolver { bb_depth: 48 }
+impl Default for SolverLimits {
+    fn default() -> SolverLimits {
+        SolverLimits { bb_depth: 48 }
     }
 }
 
 impl SmtSolver {
-    /// Creates a solver with default limits.
+    /// Creates a solver with default limits and no budget.
     pub fn new() -> SmtSolver {
         SmtSolver::default()
     }
 
+    /// Creates a solver that checkpoints the shared budget once per query
+    /// ([`Phase::Smt`]); a failing checkpoint yields
+    /// [`SatResult::Exhausted`] instead of running the query.
+    pub fn with_budget(budget: Arc<Budget>) -> SmtSolver {
+        SmtSolver {
+            limits: SolverLimits::default(),
+            budget: Some(budget),
+        }
+    }
+
+    /// The budget this solver checkpoints against, if any.
+    pub fn budget(&self) -> Option<&Arc<Budget>> {
+        self.budget.as_ref()
+    }
+
+    /// The branch & bound depth limit.
+    pub fn bb_depth(&self) -> u32 {
+        self.limits.bb_depth
+    }
+
+    /// Sets the branch & bound depth limit.
+    pub fn set_bb_depth(&mut self, depth: u32) {
+        self.limits.bb_depth = depth;
+    }
+
     /// Checks satisfiability of `f` over the integers.
     pub fn check(&self, f: &Formula) -> SatResult {
+        if let Some(budget) = &self.budget {
+            if let Err(e) = budget.checkpoint(Phase::Smt) {
+                return SatResult::Exhausted(e);
+            }
+        }
         let nnf = f.nnf();
         let mut unknown = false;
         let res = self.search(
@@ -130,7 +177,7 @@ impl SmtSolver {
     ) -> Option<Model> {
         let Some(goal) = goals.pop() else {
             // Implicant complete: final integer check.
-            return match int_sat(atoms, self.bb_depth) {
+            return match int_sat(atoms, self.limits.bb_depth) {
                 IntResult::Sat(ints) => Some(Model::new(ints, bools.clone())),
                 IntResult::Unsat(_) => None,
                 IntResult::Unknown => {

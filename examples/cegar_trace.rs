@@ -99,6 +99,10 @@ fn main() {
                 println!("step 3 verdict: inconclusive");
                 break;
             }
+            Feasibility::Exhausted(e) => {
+                println!("step 3 verdict: budget exhausted ({e})");
+                break;
+            }
         }
         println!();
     }

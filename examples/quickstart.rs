@@ -46,7 +46,7 @@ fn main() {
                 "verdict: unsafe — fails when m = {} (error path labels: {:?})",
                 witness[0], path
             );
-            assert!(witness[0] + 1 <= 0, "witness must break y > 0");
+            assert!(witness[0] < 0, "witness must break y = m + 1 > 0");
         }
         other => panic!("expected a counterexample, got {other}"),
     }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, lint, test, and a bounded end-to-end suite run.
+#
+# Offline by design — no network, no external crates. Every stage runs
+# under a hard wall-clock cap so a regression can slow things down but
+# never wedge the runner.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=(--workspace --offline)
+STAGE_CAP="${TIER1_STAGE_CAP:-900}" # seconds per stage
+
+run() {
+    echo "==> $*"
+    timeout --signal=KILL "$STAGE_CAP" "$@"
+}
+
+run cargo build --release "${CARGO_FLAGS[@]}"
+
+if command -v cargo-clippy >/dev/null 2>&1; then
+    run cargo clippy "${CARGO_FLAGS[@]}" --all-targets -- -D warnings
+else
+    echo "==> clippy unavailable; skipping lint stage"
+fi
+
+run cargo test -q "${CARGO_FLAGS[@]}"
+
+# End-to-end degradation check: with a 1-second per-program deadline the
+# whole 28-program suite must terminate with a tally and exit 0 (unknown
+# under budget is an outcome, not a failure).
+run cargo run --release --offline --bin homc -- --suite --timeout 1
+
+echo "tier1: OK"

@@ -1,88 +1,139 @@
-//! Property-based tests (proptest) for the core substrates.
-
-use proptest::prelude::*;
+//! Randomized property tests for the core substrates.
+//!
+//! Self-contained: cases come from a deterministic xorshift generator, so
+//! the tests are reproducible and need no external crates (the suite must
+//! build and run on an air-gapped CI runner). The default case counts keep
+//! the suite fast; build with `--features slow-tests` for deeper sweeps.
 
 use homc_smt::{
     int_sat, interpolate, is_interpolant, rational_sat, Atom, Formula, IntResult, LinExpr,
     RatResult, SatResult, SmtSolver, Var,
 };
 
-const VARS: [&str; 4] = ["x", "y", "z", "w"];
+/// Deterministic xorshift64* generator.
+pub struct Rng(u64);
 
-fn arb_linexpr() -> impl Strategy<Value = LinExpr> {
-    (
-        prop::collection::vec((-5i128..=5, 0usize..VARS.len()), 0..3),
-        -10i128..=10,
-    )
-        .prop_map(|(terms, k)| {
-            let mut e = LinExpr::constant(k);
-            for (c, v) in terms {
-                e = e + LinExpr::term(c, Var::new(VARS[v]));
-            }
-            e
-        })
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn range(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo + 1) as u128;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+
+    /// Uniform in `0..n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
 }
 
-fn arb_atom() -> impl Strategy<Value = Atom> {
-    (arb_linexpr(), arb_linexpr(), 0usize..=4).prop_map(|(a, b, op)| match op {
+/// Case count, scaled up under the `slow-tests` feature.
+fn cases(fast: usize) -> usize {
+    if cfg!(feature = "slow-tests") {
+        fast * 8
+    } else {
+        fast
+    }
+}
+
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+fn gen_linexpr(rng: &mut Rng) -> LinExpr {
+    let mut e = LinExpr::constant(rng.range(-10, 10));
+    for _ in 0..rng.index(3) {
+        e = e + LinExpr::term(rng.range(-5, 5), Var::new(VARS[rng.index(VARS.len())]));
+    }
+    e
+}
+
+fn gen_atom(rng: &mut Rng) -> Atom {
+    let a = gen_linexpr(rng);
+    let b = gen_linexpr(rng);
+    match rng.index(5) {
         0 => Atom::le(a, b),
         1 => Atom::lt(a, b),
         2 => Atom::ge(a, b),
         3 => Atom::gt(a, b),
         _ => Atom::eq(a, b),
-    })
+    }
 }
 
-fn arb_formula(depth: u32) -> impl Strategy<Value = Formula> {
-    let leaf = arb_atom().prop_map(Formula::atom);
-    leaf.prop_recursive(depth, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and2(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or2(a, b)),
-            inner.prop_map(Formula::not),
-        ]
-    })
+fn gen_formula(rng: &mut Rng, depth: u32) -> Formula {
+    if depth == 0 || rng.index(3) == 0 {
+        return Formula::atom(gen_atom(rng));
+    }
+    match rng.index(3) {
+        0 => Formula::and2(gen_formula(rng, depth - 1), gen_formula(rng, depth - 1)),
+        1 => Formula::or2(gen_formula(rng, depth - 1), gen_formula(rng, depth - 1)),
+        _ => Formula::not(gen_formula(rng, depth - 1)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_atoms(rng: &mut Rng) -> Vec<Atom> {
+    (0..1 + rng.index(5)).map(|_| gen_atom(rng)).collect()
+}
 
-    /// A model returned by the conjunction solver satisfies every atom.
-    #[test]
-    fn int_sat_models_are_models(atoms in prop::collection::vec(arb_atom(), 1..6)) {
+/// A model returned by the conjunction solver satisfies every atom.
+#[test]
+fn int_sat_models_are_models() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..cases(128) {
+        let atoms = gen_atoms(&mut rng);
         if let IntResult::Sat(m) = int_sat(&atoms, 32) {
             let env = |v: &Var| m.get(v).copied().or(Some(0));
             for a in &atoms {
-                prop_assert_eq!(a.eval(&env), Some(true), "violated {}", a);
+                assert_eq!(a.eval(&env), Some(true), "violated {a}");
             }
         }
     }
+}
 
-    /// Unsat certificates check out (Farkas combination sums to a positive
-    /// constant).
-    #[test]
-    fn farkas_certificates_verify(atoms in prop::collection::vec(arb_atom(), 1..6)) {
+/// Unsat certificates check out (Farkas combination sums to a positive
+/// constant).
+#[test]
+fn farkas_certificates_verify() {
+    let mut rng = Rng::new(0xFA12CA5);
+    for _ in 0..cases(128) {
+        let atoms = gen_atoms(&mut rng);
         if let RatResult::Unsat(cert) = rational_sat(&atoms) {
-            prop_assert!(homc_smt::check_certificate(&atoms, &cert));
+            assert!(homc_smt::check_certificate(&atoms, &cert));
         }
     }
+}
 
-    /// The solver agrees with brute-force evaluation on a small grid: if
-    /// some grid point satisfies the formula, the solver must say Sat.
-    #[test]
-    fn solver_not_wrongly_unsat(f in arb_formula(2)) {
-        let solver = SmtSolver::new();
+/// The solver agrees with brute-force evaluation on a small grid: if some
+/// grid point satisfies the formula, the solver must say Sat.
+#[test]
+fn solver_not_wrongly_unsat() {
+    let mut rng = Rng::new(0x50156E);
+    let solver = SmtSolver::new();
+    for _ in 0..cases(128) {
+        let f = gen_formula(&mut rng, 2);
         let verdict = solver.check(&f);
         let mut some_model = false;
         'grid: for x in -3i128..=3 {
             for y in -3i128..=3 {
                 for z in -3i128..=3 {
-                    let ints = |v: &Var| Some(match v.name() {
-                        "x" => x,
-                        "y" => y,
-                        "z" => z,
-                        _ => 0,
-                    });
+                    let ints = |v: &Var| {
+                        Some(match v.name() {
+                            "x" => x,
+                            "y" => y,
+                            "z" => z,
+                            _ => 0,
+                        })
+                    };
                     if f.eval(&ints, &|_| Some(false)) == Some(true) {
                         some_model = true;
                         break 'grid;
@@ -91,129 +142,167 @@ proptest! {
             }
         }
         if some_model {
-            prop_assert!(
+            assert!(
                 !matches!(verdict, SatResult::Unsat),
-                "grid model exists but solver says Unsat for {}", f
+                "grid model exists but solver says Unsat for {f}"
             );
         }
     }
+}
 
-    /// Sat verdicts come with genuine models.
-    #[test]
-    fn solver_models_evaluate_true(f in arb_formula(2)) {
-        let solver = SmtSolver::new();
+/// Sat verdicts come with genuine models.
+#[test]
+fn solver_models_evaluate_true() {
+    let mut rng = Rng::new(0x5A7);
+    let solver = SmtSolver::new();
+    for _ in 0..cases(128) {
+        let f = gen_formula(&mut rng, 2);
         if let SatResult::Sat(m) = solver.check(&f) {
-            prop_assert!(m.eval(&f), "returned model falsifies {}", f);
+            assert!(m.eval(&f), "returned model falsifies {f}");
         }
     }
+}
 
-    /// Interpolants satisfy all three defining properties whenever the
-    /// procedure succeeds.
-    #[test]
-    fn interpolants_are_interpolants(a in arb_formula(1), b in arb_formula(1)) {
-        let solver = SmtSolver::new();
-        if matches!(solver.check(&Formula::and2(a.clone(), b.clone())), SatResult::Unsat) {
+/// Interpolants satisfy all three defining properties whenever the
+/// procedure succeeds.
+#[test]
+fn interpolants_are_interpolants() {
+    let mut rng = Rng::new(0x1A7E);
+    let solver = SmtSolver::new();
+    for _ in 0..cases(128) {
+        let a = gen_formula(&mut rng, 1);
+        let b = gen_formula(&mut rng, 1);
+        if matches!(
+            solver.check(&Formula::and2(a.clone(), b.clone())),
+            SatResult::Unsat
+        ) {
             if let Ok(i) = interpolate(&a, &b) {
-                prop_assert!(is_interpolant(&a, &b, &i),
-                    "bad interpolant {} for A={} B={}", i, a, b);
+                assert!(
+                    is_interpolant(&a, &b, &i),
+                    "bad interpolant {i} for A={a} B={b}"
+                );
             }
         }
     }
+}
 
-    /// NNF preserves meaning.
-    #[test]
-    fn nnf_preserves_semantics(f in arb_formula(2), x in -3i128..=3, y in -3i128..=3) {
-        let ints = |v: &Var| Some(match v.name() {
-            "x" => x,
-            "y" => y,
-            _ => 0,
-        });
+/// NNF preserves meaning.
+#[test]
+fn nnf_preserves_semantics() {
+    let mut rng = Rng::new(0x22F);
+    for _ in 0..cases(128) {
+        let f = gen_formula(&mut rng, 2);
+        let x = rng.range(-3, 3);
+        let y = rng.range(-3, 3);
+        let ints = |v: &Var| {
+            Some(match v.name() {
+                "x" => x,
+                "y" => y,
+                _ => 0,
+            })
+        };
         let bools = |_: &Var| Some(false);
-        prop_assert_eq!(f.eval(&ints, &bools), f.nnf().eval(&ints, &bools));
+        assert_eq!(f.eval(&ints, &bools), f.nnf().eval(&ints, &bools));
     }
 }
 
 mod frontend_props {
-    use super::*;
+    use super::{cases, Rng};
     use homc_lang::ast::{BinOp, SurfaceExpr};
     use homc_lang::eval::{run, Label, Outcome, ScriptDriver};
     use homc_lang::frontend;
 
-    /// Small arithmetic/boolean programs with assertions and a free `n`.
-    fn arb_int_expr(depth: u32) -> impl Strategy<Value = SurfaceExpr> {
-        let leaf = prop_oneof![
-            (-9i64..=9).prop_map(SurfaceExpr::Int),
-            Just(SurfaceExpr::Var("n".into())),
-        ];
-        leaf.prop_recursive(depth, 12, 2, |inner| {
-            (inner.clone(), inner, prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)])
-                .prop_map(|(a, b, op)| SurfaceExpr::BinOp(op, Box::new(a), Box::new(b)))
-        })
+    /// Small arithmetic expressions over constants and a free `n`.
+    fn gen_int_expr(rng: &mut Rng, depth: u32) -> SurfaceExpr {
+        if depth == 0 || rng.index(3) == 0 {
+            return if rng.index(2) == 0 {
+                SurfaceExpr::Int(rng.range(-9, 9) as i64)
+            } else {
+                SurfaceExpr::Var("n".into())
+            };
+        }
+        let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][rng.index(3)];
+        SurfaceExpr::BinOp(
+            op,
+            Box::new(gen_int_expr(rng, depth - 1)),
+            Box::new(gen_int_expr(rng, depth - 1)),
+        )
     }
 
-    fn arb_program() -> impl Strategy<Value = SurfaceExpr> {
-        (arb_int_expr(2), arb_int_expr(2), 0usize..=3).prop_map(|(a, b, cmp)| {
-            let op = [BinOp::Le, BinOp::Lt, BinOp::Ge, BinOp::Eq][cmp];
-            // if a ⋈ b then assert (a ⋈ b) else () — always safe; plus a
-            // sibling that asserts the condition directly — possibly unsafe.
-            SurfaceExpr::If(
-                Box::new(SurfaceExpr::BinOp(op, Box::new(a.clone()), Box::new(b.clone()))),
-                Box::new(SurfaceExpr::Assert(Box::new(SurfaceExpr::BinOp(
-                    op,
-                    Box::new(a),
-                    Box::new(b),
-                )))),
-                Box::new(SurfaceExpr::Unit),
-            )
-        })
+    /// `if a ⋈ b then assert (a ⋈ b) else ()` — always safe as written, but
+    /// the abstraction has to prove it.
+    fn gen_program(rng: &mut Rng) -> SurfaceExpr {
+        let a = gen_int_expr(rng, 2);
+        let b = gen_int_expr(rng, 2);
+        let op = [BinOp::Le, BinOp::Lt, BinOp::Ge, BinOp::Eq][rng.index(4)];
+        SurfaceExpr::If(
+            Box::new(SurfaceExpr::BinOp(
+                op,
+                Box::new(a.clone()),
+                Box::new(b.clone()),
+            )),
+            Box::new(SurfaceExpr::Assert(Box::new(SurfaceExpr::BinOp(
+                op,
+                Box::new(a),
+                Box::new(b),
+            )))),
+            Box::new(SurfaceExpr::Unit),
+        )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    fn schedule(bits: u8) -> Vec<Label> {
+        (0..4)
+            .map(|i| {
+                if (bits >> i) & 1 == 1 {
+                    Label::One
+                } else {
+                    Label::Zero
+                }
+            })
+            .collect()
+    }
 
-        /// The front end round-trips: elaborated and CPS kernels type-check
-        /// and agree with each other on failure under random schedules.
-        #[test]
-        fn cps_preserves_failure(e in arb_program(), n in -4i64..=4, bits in 0u8..16) {
-            // Render through the pretty-printer-free path: build source via
-            // the AST directly by compiling a textual equivalent is not
-            // available, so use the typed pipeline directly.
-            let typed = match homc_lang::types::infer(&e) {
-                Ok(t) => t,
-                Err(_) => return Ok(()),
+    /// The front end round-trips: elaborated and CPS kernels type-check and
+    /// agree with each other on failure under random schedules.
+    #[test]
+    fn cps_preserves_failure() {
+        let mut rng = Rng::new(0xC125);
+        for _ in 0..cases(48) {
+            let e = gen_program(&mut rng);
+            let n = rng.range(-4, 4) as i64;
+            let bits = (rng.next_u64() % 16) as u8;
+            let Ok(typed) = homc_lang::types::infer(&e) else {
+                continue;
             };
-            let direct = match homc_lang::elaborate::elaborate(&typed) {
-                Ok(p) => p,
-                Err(_) => return Ok(()),
+            let Ok(direct) = homc_lang::elaborate::elaborate(&typed) else {
+                continue;
             };
-            prop_assert!(direct.check().is_ok());
+            assert!(direct.check().is_ok());
             let cps = homc_lang::cps::cps_transform(&direct);
-            prop_assert!(cps.check().is_ok());
-            prop_assert!(cps.is_cps_normal());
-            let labels: Vec<Label> = (0..4).map(|i| if (bits >> i) & 1 == 1 { Label::One } else { Label::Zero }).collect();
+            assert!(cps.check().is_ok());
+            assert!(cps.is_cps_normal());
+            let labels = schedule(bits);
             let mut d1 = ScriptDriver::new(labels.clone(), vec![n]);
             let mut d2 = ScriptDriver::new(labels, vec![n]);
             let (o1, t1) = run(&direct, &mut d1, 100_000);
             let (o2, t2) = run(&cps, &mut d2, 100_000);
-            prop_assert_eq!(o1.is_fail(), o2.is_fail());
-            prop_assert_eq!(t1, t2);
+            assert_eq!(o1.is_fail(), o2.is_fail());
+            assert_eq!(t1, t2);
         }
+    }
 
-        /// End-to-end soundness fuzzing: whenever the verifier says Safe,
-        /// no concrete schedule reaches fail.
-        #[test]
-        fn verifier_safe_implies_no_concrete_failure(
-            e in arb_program(),
-            n in -4i64..=4,
-            bits in 0u8..16,
-        ) {
-            let typed = match homc_lang::types::infer(&e) {
-                Ok(t) => t,
-                Err(_) => return Ok(()),
+    /// End-to-end soundness fuzzing: whenever the verifier says Safe, no
+    /// concrete schedule reaches fail.
+    #[test]
+    fn verifier_safe_implies_no_concrete_failure() {
+        let mut rng = Rng::new(0x5AFE);
+        for _ in 0..cases(24) {
+            let e = gen_program(&mut rng);
+            let Ok(typed) = homc_lang::types::infer(&e) else {
+                continue;
             };
-            let direct = match homc_lang::elaborate::elaborate(&typed) {
-                Ok(p) => p,
-                Err(_) => return Ok(()),
+            let Ok(direct) = homc_lang::elaborate::elaborate(&typed) else {
+                continue;
             };
             let cps = homc_lang::cps::cps_transform(&direct);
             let compiled = homc_lang::Compiled {
@@ -222,20 +311,21 @@ mod frontend_props {
                 direct,
                 cps,
             };
-            let out = match homc::verify_compiled(&compiled, &homc::VerifierOptions::default()) {
-                Ok(o) => o,
-                Err(_) => return Ok(()),
+            let Ok(out) = homc::verify_compiled(&compiled, &homc::VerifierOptions::default())
+            else {
+                continue;
             };
             if out.verdict.is_safe() {
-                let labels: Vec<Label> = (0..4)
-                    .map(|i| if (bits >> i) & 1 == 1 { Label::One } else { Label::Zero })
-                    .collect();
-                let mut d = ScriptDriver::new(labels, vec![n]);
-                let (o, _) = run(&compiled.cps, &mut d, 100_000);
-                prop_assert!(
-                    !matches!(o, Outcome::Fail),
-                    "verifier said Safe but n={n}, bits={bits:#b} fails"
-                );
+                for n in -4i64..=4 {
+                    for bits in 0u8..16 {
+                        let mut d = ScriptDriver::new(schedule(bits), vec![n]);
+                        let (o, _) = run(&compiled.cps, &mut d, 100_000);
+                        assert!(
+                            !matches!(o, Outcome::Fail),
+                            "verifier said Safe but n={n}, bits={bits:#b} fails"
+                        );
+                    }
+                }
             }
         }
     }

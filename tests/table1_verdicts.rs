@@ -24,7 +24,7 @@ fn check(program: &suite::SuiteProgram) {
                 let compiled = homc_lang::frontend(program.source).expect("compiles");
                 let mut driver = homc_lang::eval::ScriptDriver::new(
                     path.clone(),
-                    witness.iter().copied().collect(),
+                    witness.to_vec(),
                 );
                 let (outcome, _) = homc_lang::eval::run(&compiled.cps, &mut driver, 1_000_000);
                 assert!(
