@@ -31,13 +31,14 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use homc_budget::{Budget, BudgetError, Phase};
 use homc_hbp::{BDef, BExpr, BProgram, BVal, BoolExpr};
 use homc_lang::kernel::{Const, Def, Expr, FunName, Op, Program, Value};
 use homc_lang::types::SimpleTy;
-use homc_smt::{Atom, Formula, LinExpr, SatResult, SmtSolver, Var};
+use homc_smt::{Atom, Formula, LinExpr, QueryCache, SatResult, SmtSolver, Var};
 
 use crate::types::{AbsEnv, AbsTy};
 
@@ -48,12 +49,21 @@ pub struct AbsOptions {
     /// paper's bound on predicates considered when computing abstract
     /// transitions, §6).
     pub max_context_atoms: usize,
+    /// Worker threads for abstracting top-level definitions concurrently.
+    /// `1` forces the sequential path; the default is the machine's
+    /// available parallelism. Output is identical at every thread count:
+    /// fresh names are namespaced per definition and results are collected
+    /// in definition order.
+    pub threads: usize,
 }
 
 impl Default for AbsOptions {
     fn default() -> AbsOptions {
         AbsOptions {
             max_context_atoms: 7,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }
@@ -116,33 +126,111 @@ pub fn abstract_program_budgeted(
     opts: &AbsOptions,
     budget: Option<Arc<Budget>>,
 ) -> Result<(BProgram, AbsStats), AbsError> {
-    let solver = match &budget {
-        Some(b) => SmtSolver::with_budget(b.clone()),
-        None => SmtSolver::new(),
-    };
-    let mut a = Abstractor {
-        program,
-        env,
-        opts,
-        solver,
-        budget,
-        out: Vec::new(),
-        counter: 0,
-        stats: AbsStats::default(),
-    };
-    for d in &program.defs {
+    abstract_program_cached(program, env, opts, budget, None)
+}
+
+/// What one definition task produces: its coercion wrappers followed by the
+/// abstracted definition itself, plus the queries it spent.
+type DefResult = Result<(Vec<BDef>, AbsStats), AbsError>;
+
+/// [`abstract_program_budgeted`] with an optional shared SMT [`QueryCache`]
+/// (hits collapse repeated entailments across definitions *and* across CEGAR
+/// iterations).
+///
+/// Top-level definitions are independent abstraction tasks — each reads only
+/// the (immutable) program, environment, and options — so they run on
+/// `opts.threads` scoped workers. Determinism: fresh names are namespaced by
+/// definition index (the sequential path uses the identical scheme), results
+/// are stitched in definition order, and on multiple failures the lowest
+/// definition index wins — so output and errors are byte-for-byte the same
+/// at any thread count. Runs with an `--inject` fault plan fall back to the
+/// sequential schedule, keeping checkpoint indices reproducible.
+pub fn abstract_program_cached(
+    program: &Program,
+    env: &AbsEnv,
+    opts: &AbsOptions,
+    budget: Option<Arc<Budget>>,
+    cache: Option<Arc<QueryCache>>,
+) -> Result<(BProgram, AbsStats), AbsError> {
+    let n = program.defs.len();
+    let threads = opts.threads.clamp(1, n.max(1));
+    let sequential =
+        threads <= 1 || n < 2 || budget.as_deref().is_some_and(Budget::has_faults);
+
+    let abstract_one = |ns: usize, d: &Def| -> DefResult {
+        let mut a = Abstractor::new(program, env, opts, budget.clone(), cache.clone(), ns);
         let def = a.abstract_def(d)?;
         a.out.push(def);
+        Ok((a.out, a.stats))
+    };
+
+    let slots: Vec<DefResult> = if sequential {
+        program
+            .defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| abstract_one(i, d))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, DefResult)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, abstract_one(i, &program.defs[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut slots: Vec<DefResult> = (0..n)
+            .map(|_| Err(AbsError::invalid("definition task never ran")))
+            .collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            slots[i] = r;
+        }
+        slots
+    };
+
+    let mut out = Vec::new();
+    let mut stats = AbsStats::default();
+    for slot in slots {
+        let (defs, s) = slot?;
+        out.extend(defs);
+        stats.sat_queries += s.sat_queries;
+        stats.coercions += s.coercions;
     }
+
+    // The entry wrapper reads the final environment of `main`; it runs after
+    // the fan-out, in its own name namespace.
+    let mut a = Abstractor::new(program, env, opts, budget, cache, n);
     let entry = a.build_entry()?;
-    a.out.push(entry);
+    stats.sat_queries += a.stats.sat_queries;
+    stats.coercions += a.stats.coercions;
+    out.extend(a.out);
+    out.push(entry);
+
     let bp = BProgram {
-        defs: a.out,
+        defs: out,
         main: FunName("__entry".to_string()),
     };
     bp.check()
         .map_err(|e| AbsError::invalid(format!("abstraction produced an ill-formed program: {e}")))?;
-    Ok((bp, a.stats))
+    Ok((bp, stats))
 }
 
 /// One in-scope abstract component: `(variable, component index, meaning)`.
@@ -168,11 +256,43 @@ struct Abstractor<'a> {
     solver: SmtSolver,
     budget: Option<Arc<Budget>>,
     out: Vec<BDef>,
+    /// Fresh-name namespace (the index of the definition task, or
+    /// `defs.len()` for the entry wrapper). Namespacing makes generated
+    /// names independent of the order tasks complete in.
+    ns: usize,
     counter: usize,
     stats: AbsStats,
 }
 
-impl Abstractor<'_> {
+impl<'a> Abstractor<'a> {
+    fn new(
+        program: &'a Program,
+        env: &'a AbsEnv,
+        opts: &'a AbsOptions,
+        budget: Option<Arc<Budget>>,
+        cache: Option<Arc<QueryCache>>,
+        ns: usize,
+    ) -> Abstractor<'a> {
+        let mut solver = match &budget {
+            Some(b) => SmtSolver::with_budget(b.clone()),
+            None => SmtSolver::new(),
+        };
+        if let Some(c) = cache {
+            solver.set_cache(c);
+        }
+        Abstractor {
+            program,
+            env,
+            opts,
+            solver,
+            budget,
+            out: Vec::new(),
+            ns,
+            counter: 0,
+            stats: AbsStats::default(),
+        }
+    }
+
     fn checkpoint(&self) -> Result<(), AbsError> {
         if let Some(b) = &self.budget {
             b.checkpoint(Phase::Abs).map_err(AbsError::Exhausted)?;
@@ -194,12 +314,12 @@ impl Abstractor<'_> {
 
     fn fresh_var(&mut self, base: &str) -> Var {
         self.counter += 1;
-        Var::new(format!("{base}%{}", self.counter))
+        Var::new(format!("{base}%{}.{}", self.ns, self.counter))
     }
 
     fn fresh_fun(&mut self, base: &str) -> FunName {
         self.counter += 1;
-        FunName(format!("{base}%{}", self.counter))
+        FunName(format!("{base}%{}.{}", self.ns, self.counter))
     }
 
     fn scheme(&self, f: &FunName) -> Result<&Vec<(Var, AbsTy)>, AbsError> {

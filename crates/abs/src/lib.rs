@@ -37,5 +37,8 @@
 pub mod abstract_prog;
 pub mod types;
 
-pub use abstract_prog::{abstract_program, abstract_program_budgeted, AbsError, AbsOptions, AbsStats};
+pub use abstract_prog::{
+    abstract_program, abstract_program_budgeted, abstract_program_cached, AbsError, AbsOptions,
+    AbsStats,
+};
 pub use types::{AbsEnv, AbsTy, Predicate};

@@ -35,6 +35,7 @@ fn main() {
             let opts = VerifierOptions {
                 abs: AbsOptions {
                     max_context_atoms: atoms,
+                    ..AbsOptions::default()
                 },
                 ..VerifierOptions::default()
             };

@@ -1,32 +1,145 @@
 //! Regenerates the paper's Table 1.
 //!
 //! ```sh
-//! cargo run --release -p homc-bench --bin table1
+//! cargo run --release -p homc-bench --bin table1 [-- --json <path>]
 //! ```
+//!
+//! With `--json <path>` the run also writes a machine-readable baseline:
+//! one object per program (wall time, per-phase times, cycles, and the
+//! hot-path effort counters) plus suite-level aggregates. CI's bench-smoke
+//! stage uses it to track wall-time regressions against the checked-in
+//! `BENCH_table1.json`.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
 
 use homc::suite::SUITE;
-use homc_bench::{format_row, run_program};
+use homc::Verdict;
+use homc_bench::{format_row, run_program, Row};
 
-fn main() {
+/// Escapes a string for a JSON string literal (the names and verdicts here
+/// are ASCII identifiers, but quoting defensively costs nothing).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the collected rows as the benchmark-baseline JSON document.
+fn to_json(rows: &[Row]) -> String {
+    let mut total = 0.0f64;
+    let (mut smt, mut hits, mut misses, mut pops, mut rescans) = (0usize, 0u64, 0u64, 0usize, 0usize);
+    let mut body = String::from("{\n  \"programs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let s = &r.outcome.stats;
+        let verdict = match &r.outcome.verdict {
+            Verdict::Safe => "safe",
+            Verdict::Unsafe { .. } => "unsafe",
+            Verdict::Unknown { .. } => "unknown",
+        };
+        total += s.total.as_secs_f64();
+        smt += s.smt_queries;
+        hits += s.cache_hits;
+        misses += s.cache_misses;
+        pops += s.worklist_pops;
+        rescans += s.rescans_avoided;
+        let _ = writeln!(
+            body,
+            "    {{\"name\": {}, \"verdict\": {}, \"verdict_ok\": {}, \"cycles\": {}, \
+             \"abst_s\": {:.4}, \"mc_s\": {:.4}, \"cegar_s\": {:.4}, \"total_s\": {:.4}, \
+             \"smt_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"worklist_pops\": {}, \"rescans_avoided\": {}}}{}",
+            json_str(r.name),
+            json_str(verdict),
+            r.verdict_ok,
+            s.cycles,
+            s.abst.as_secs_f64(),
+            s.mc.as_secs_f64(),
+            s.cegar.as_secs_f64(),
+            s.total.as_secs_f64(),
+            s.smt_queries,
+            s.cache_hits,
+            s.cache_misses,
+            s.worklist_pops,
+            s.rescans_avoided,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    let _ = write!(
+        body,
+        "  ],\n  \"totals\": {{\"wall_s\": {total:.4}, \"smt_queries\": {smt}, \
+         \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"worklist_pops\": {pops}, \
+         \"rescans_avoided\": {rescans}}}\n}}\n",
+    );
+    body
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("table1: --json needs a path");
+                    return ExitCode::FAILURE;
+                };
+                json_path = Some(p.clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("table1: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     println!(
         "{:12} {:>4} {:>2} {:>8}  {:>6} {:>6} {:>6} {:>6}   verdict",
         "program", "S", "O", "C(paper)", "abst", "mc", "cegar", "total"
     );
     println!("{}", "-".repeat(86));
     let mut all_ok = true;
+    let mut rows = Vec::with_capacity(SUITE.len());
     for p in SUITE {
         let row = run_program(p);
         all_ok &= row.verdict_ok;
         println!("{}", format_row(&row));
+        rows.push(row);
     }
     println!("{}", "-".repeat(86));
+    let total: f64 = rows.iter().map(|r| r.outcome.stats.total.as_secs_f64()).sum();
     println!(
-        "verdicts: {}",
+        "total {total:.2}s; verdicts: {}",
         if all_ok {
             "all match the paper"
         } else {
             "MISMATCHES PRESENT"
         }
     );
-    std::process::exit(if all_ok { 0 } else { 1 });
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, to_json(&rows)) {
+            eprintln!("table1: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("baseline written to {path}");
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -334,6 +334,14 @@ impl Budget {
         UNLIMITED.get_or_init(Budget::default)
     }
 
+    /// `true` when this budget carries a fault-injection plan. Phases that
+    /// would reorder checkpoint interleavings (e.g. parallel abstraction)
+    /// consult this to fall back to a sequential schedule, keeping `--inject`
+    /// indices deterministic.
+    pub fn has_faults(&self) -> bool {
+        !self.plan.is_empty()
+    }
+
     /// The wall-clock deadline, if any.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline

@@ -23,8 +23,9 @@ pub mod shp;
 
 pub use enumerate::gen_p;
 pub use refine::{
-    check_feasibility, discover_predicates, discover_predicates_budgeted, refine_env,
-    refine_env_budgeted, Feasibility, RefineError, RefineOptions, Refinement,
+    check_feasibility, discover_predicates, discover_predicates_budgeted,
+    discover_predicates_cached, refine_env, refine_env_budgeted, Feasibility, RefineError,
+    RefineOptions, Refinement,
 };
 pub use shp::{
     build_trace, build_trace_budgeted, Activation, Event, SymVal, Trace, TraceEnd, TraceError,

@@ -30,7 +30,8 @@ use homc_abs::{AbsEnv, AbsTy, Predicate};
 use homc_budget::{Budget, BudgetError, Phase};
 use homc_lang::kernel::{FunName, Program};
 use homc_smt::{
-    interpolate_budgeted, Formula, InterpError, InterpOptions, SatResult, SmtSolver, Var,
+    interpolate_budgeted_cached, Formula, InterpError, InterpOptions, QueryCache, SatResult,
+    SmtSolver, Var,
 };
 
 use crate::shp::{Event, Trace};
@@ -183,6 +184,20 @@ pub fn discover_predicates_budgeted(
     opts: &RefineOptions,
     budget: &Budget,
 ) -> Result<Refinement, RefineError> {
+    discover_predicates_cached(program, trace, opts, budget, None)
+}
+
+/// [`discover_predicates_budgeted`] with an optional shared [`QueryCache`]:
+/// adjacent cut points interpolate against largely overlapping cube sets, so
+/// the cube-level memoization inside the interpolation engine collapses the
+/// repeated work — within one refinement and across CEGAR iterations.
+pub fn discover_predicates_cached(
+    program: &Program,
+    trace: &Trace,
+    opts: &RefineOptions,
+    budget: &Budget,
+    cache: Option<&QueryCache>,
+) -> Result<Refinement, RefineError> {
     let mut out = Refinement::default();
     // sym → original-name maps and (sym, index) lists, per activation.
     let mut orig_names: Vec<BTreeMap<Var, Var>> = vec![BTreeMap::new(); trace.activations.len()];
@@ -286,7 +301,8 @@ pub fn discover_predicates_budgeted(
             budget
                 .checkpoint(Phase::Interp)
                 .map_err(RefineError::Exhausted)?;
-            match interpolate_budgeted(&a, &suffix, InterpOptions::default(), budget) {
+            match interpolate_budgeted_cached(&a, &suffix, InterpOptions::default(), budget, cache)
+            {
                 Ok(interp) => {
                     solution = interp;
                     break;
@@ -647,7 +663,10 @@ pub fn refine_env_budgeted(
     if matches!(feas, Feasibility::Feasible(_) | Feasibility::Exhausted(_)) {
         return Ok((feas, false));
     }
-    let refinement = discover_predicates_budgeted(program, trace, opts, budget)?;
+    // Interpolation shares the solver's query cache (if it carries one), so
+    // cube work survives across refinement iterations.
+    let cache = solver.cache().map(std::sync::Arc::as_ref);
+    let refinement = discover_predicates_cached(program, trace, opts, budget, cache)?;
     let mut changed = env.refine(&refinement.fun_updates, &refinement.rand_updates);
     for u in &refinement.ho_updates {
         changed |= env.apply_ho_update(&u.def, &u.param, u.chain_pos, &u.pred);

@@ -8,6 +8,9 @@
 //!   --timeout <secs>      per-program wall-clock deadline (fractions allowed)
 //!   --inject <phase:n[:kind]>  deterministically fail the n-th checkpoint of a
 //!                         phase (abs|mc|feas|interp|smt); kind is error|panic
+//!   --stats               print per-program effort counters (SMT queries,
+//!                         query-cache hits/misses, worklist pops, rescans
+//!                         avoided) under each report line
 //! ```
 //!
 //! Every program reports exactly one of `safe`, `unsafe`, or `unknown`; the
@@ -17,9 +20,9 @@
 
 use std::io::Write;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use homc::{suite, verify, Expected, Fault, FaultPlan, Verdict, VerifierOptions};
+use homc::{suite, verify, Expected, Fault, FaultPlan, Verdict, VerifierOptions, VerifyStats};
 
 fn fmt_d(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
@@ -43,8 +46,27 @@ enum RunStatus {
     Unknown,
 }
 
-fn run_one(name: &str, source: &str, expected: Option<Expected>, opts: &VerifierOptions) -> RunStatus {
-    match verify(source, opts) {
+/// What one program's run contributes to the suite tally.
+struct RunReport {
+    status: RunStatus,
+    /// Wall-clock time for the whole run, including the front end (the
+    /// per-phase `total` in [`VerifyStats`] covers only the CEGAR loop).
+    wall: Duration,
+    /// Effort counters, when verification produced an outcome at all.
+    stats: Option<VerifyStats>,
+}
+
+fn run_one(
+    name: &str,
+    source: &str,
+    expected: Option<Expected>,
+    opts: &VerifierOptions,
+    show_stats: bool,
+) -> RunReport {
+    let t = Instant::now();
+    let result = verify(source, opts);
+    let wall = t.elapsed();
+    match result {
         Ok(out) => {
             let v = match &out.verdict {
                 Verdict::Safe => "safe".to_string(),
@@ -60,7 +82,7 @@ fn run_one(name: &str, source: &str, expected: Option<Expected>, opts: &Verifier
                 _ => RunStatus::Failed,
             };
             say(format_args!(
-                "{name:12} S={:4} O={} C={:2}  abst={} mc={} cegar={} total={}  -> {v}{}",
+                "{name:12} S={:4} O={} C={:2}  abst={} mc={} cegar={} total={} wall={}  -> {v}{}",
                 out.size,
                 out.order,
                 out.stats.cycles,
@@ -68,17 +90,37 @@ fn run_one(name: &str, source: &str, expected: Option<Expected>, opts: &Verifier
                 fmt_d(out.stats.mc),
                 fmt_d(out.stats.cegar),
                 fmt_d(out.stats.total),
+                fmt_d(wall),
                 if status == RunStatus::Failed {
                     "  ** UNEXPECTED **"
                 } else {
                     ""
                 },
             ));
-            status
+            if show_stats {
+                say(format_args!(
+                    "{:12} smt={} cache={}/{} worklist_pops={} rescans_avoided={}",
+                    "",
+                    out.stats.smt_queries,
+                    out.stats.cache_hits,
+                    out.stats.cache_misses,
+                    out.stats.worklist_pops,
+                    out.stats.rescans_avoided,
+                ));
+            }
+            RunReport {
+                status,
+                wall,
+                stats: Some(out.stats),
+            }
         }
         Err(e) => {
             eprintln!("{name}: error: {e}");
-            RunStatus::Failed
+            RunReport {
+                status: RunStatus::Failed,
+                wall,
+                stats: None,
+            }
         }
     }
 }
@@ -87,12 +129,13 @@ struct Cli {
     timeout: Option<Duration>,
     faults: FaultPlan,
     suite: bool,
+    stats: bool,
     target: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] (<file.ml> | --suite [program])"
+        "usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] [--stats] (<file.ml> | --suite [program])"
     );
     ExitCode::FAILURE
 }
@@ -102,6 +145,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         timeout: None,
         faults: FaultPlan::none(),
         suite: false,
+        stats: false,
         target: None,
     };
     let mut i = 0;
@@ -126,6 +170,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--suite" => {
                 cli.suite = true;
+                i += 1;
+            }
+            "--stats" => {
+                cli.stats = true;
                 i += 1;
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -164,6 +212,8 @@ fn main() -> ExitCode {
     if cli.suite {
         let filter = cli.target;
         let (mut passed, mut failed, mut unknown) = (0usize, 0usize, 0usize);
+        let mut wall = Duration::ZERO;
+        let mut totals = VerifyStats::default();
         let mut matched = false;
         for p in suite::SUITE {
             if let Some(f) = &filter {
@@ -172,10 +222,19 @@ fn main() -> ExitCode {
                 }
             }
             matched = true;
-            match run_one(p.name, p.source, Some(p.expected), &opts) {
+            let report = run_one(p.name, p.source, Some(p.expected), &opts, cli.stats);
+            match report.status {
                 RunStatus::Passed => passed += 1,
                 RunStatus::Failed => failed += 1,
                 RunStatus::Unknown => unknown += 1,
+            }
+            wall += report.wall;
+            if let Some(s) = report.stats {
+                totals.smt_queries += s.smt_queries;
+                totals.cache_hits += s.cache_hits;
+                totals.cache_misses += s.cache_misses;
+                totals.worklist_pops += s.worklist_pops;
+                totals.rescans_avoided += s.rescans_avoided;
             }
         }
         if !matched {
@@ -186,7 +245,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         say(format_args!(
-            "passed {passed}, failed {failed}, unknown {unknown}"
+            "passed {passed}, failed {failed}, unknown {unknown}  wall={}",
+            fmt_d(wall)
+        ));
+        let lookups = totals.cache_hits + totals.cache_misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            100.0 * totals.cache_hits as f64 / lookups as f64
+        };
+        say(format_args!(
+            "smt queries {}, cache hits {}/{} ({hit_rate:.0}%), worklist pops {}, rescans avoided {}",
+            totals.smt_queries,
+            totals.cache_hits,
+            lookups,
+            totals.worklist_pops,
+            totals.rescans_avoided,
         ));
         if failed == 0 {
             ExitCode::SUCCESS
@@ -204,7 +278,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match run_one(&path, &src, None, &opts) {
+        match run_one(&path, &src, None, &opts, cli.stats).status {
             RunStatus::Failed => ExitCode::FAILURE,
             RunStatus::Passed | RunStatus::Unknown => ExitCode::SUCCESS,
         }

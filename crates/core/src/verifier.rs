@@ -28,7 +28,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
-use homc_abs::{abstract_program_budgeted, AbsEnv, AbsError, AbsOptions};
+use homc_abs::{abstract_program_cached, AbsEnv, AbsError, AbsOptions};
 use homc_cegar::{
     build_trace_budgeted, refine_env_budgeted, Feasibility, RefineError, RefineOptions, TraceEnd,
     TraceError,
@@ -37,7 +37,7 @@ use homc_hbp::check::{CheckError, CheckLimits, Checker};
 use homc_hbp::{find_error_path, source_labels};
 use homc_lang::eval::Label;
 use homc_lang::{frontend, Compiled};
-use homc_smt::{Budget, BudgetError, FaultPlan, SmtSolver};
+use homc_smt::{Budget, BudgetError, FaultPlan, QueryCache, SmtSolver};
 
 /// Options controlling the verifier.
 #[derive(Clone, Debug)]
@@ -173,6 +173,20 @@ pub struct VerifyStats {
     pub final_hbp_size: usize,
     /// Number of full-loop restarts after a retryable budget exhaustion.
     pub retries: usize,
+    /// SMT satisfiability queries issued by predicate abstraction (before
+    /// cache lookup).
+    pub smt_queries: usize,
+    /// Query-cache hits across the whole run (solver checks, interpolation
+    /// cubes, and cube-pair interpolants).
+    pub cache_hits: u64,
+    /// Query-cache misses across the whole run.
+    pub cache_misses: u64,
+    /// Model-checker worklist pops (definitions re-searched), summed over
+    /// iterations.
+    pub worklist_pops: usize,
+    /// Definition re-scans the worklist avoided versus a round-based sweep,
+    /// summed over iterations.
+    pub rescans_avoided: usize,
 }
 
 /// The result of a verification run.
@@ -261,7 +275,12 @@ pub fn verify_compiled(
     let start = Instant::now();
     let mut stats = VerifyStats::default();
     let budget = Arc::new(Budget::new(opts.timeout, opts.fuel, opts.faults.clone()));
-    let solver = SmtSolver::with_budget(budget.clone());
+    // One query cache for the whole run: abstraction entailments recur
+    // across CEGAR iterations, and interpolation cubes recur across cut
+    // points, so the cache is shared by every solver (including the
+    // parallel abstraction workers) and never reset between iterations.
+    let cache = Arc::new(QueryCache::new());
+    let solver = SmtSolver::with_budget(budget.clone()).with_cache(cache.clone());
     let mut env = AbsEnv::initial(&compiled.cps);
     let mut check_limits = opts.check;
     let mut trace_fuel = opts.trace_fuel;
@@ -317,6 +336,9 @@ pub fn verify_compiled(
 
     stats.total = start.elapsed();
     stats.predicates = env.fingerprint();
+    let cs = cache.stats();
+    stats.cache_hits = cs.hits;
+    stats.cache_misses = cs.misses;
     Ok(VerifyOutcome {
         verdict,
         stats,
@@ -341,12 +363,21 @@ fn run_iteration(
 ) -> IterOutcome {
     let unknown = |reason: UnknownReason| IterOutcome::Done(Verdict::Unknown { reason });
 
-    // Step 1: predicate abstraction.
+    // Step 1: predicate abstraction (workers share the run-wide cache).
     let t = Instant::now();
-    let abs_result = abstract_program_budgeted(&compiled.cps, env, &opts.abs, Some(budget.clone()));
+    let abs_result = abstract_program_cached(
+        &compiled.cps,
+        env,
+        &opts.abs,
+        Some(budget.clone()),
+        solver.cache().cloned(),
+    );
     stats.abst += t.elapsed();
     let bp = match abs_result {
-        Ok((bp, _)) => bp,
+        Ok((bp, abs_stats)) => {
+            stats.smt_queries += abs_stats.sat_queries;
+            bp
+        }
         Err(AbsError::Exhausted(e)) => return unknown(UnknownReason::Budget(e)),
         Err(AbsError::Invalid(msg)) => {
             return unknown(UnknownReason::InternalFault(format!("abstraction: {msg}")))
@@ -359,6 +390,9 @@ fn run_iteration(
     let mc = (|| {
         let mut checker = Checker::with_budget(&bp, check_limits, budget)?;
         checker.saturate()?;
+        let cs = checker.stats();
+        stats.worklist_pops += cs.worklist_pops;
+        stats.rescans_avoided += cs.rescans_avoided;
         if !checker.may_fail() {
             return Ok(None);
         }

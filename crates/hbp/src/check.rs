@@ -22,7 +22,7 @@
 //! procedure is a decision procedure — the paper's Theorem 3.1 made
 //! executable.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 
 use homc_budget::{Budget, BudgetError, LimitKind, Phase};
@@ -35,7 +35,7 @@ use crate::flow::{analyze, FlowResult};
 pub type Bits = u64;
 
 /// A requirement on one argument position.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ArgReq {
     /// The base argument must be exactly this tuple.
     Base(Bits),
@@ -46,7 +46,7 @@ pub enum ArgReq {
 /// An arrow type over the *remaining* parameters of a (partially applied)
 /// function: "applied to arguments meeting these requirements, the call may
 /// reach `fail`".
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ArrowTy(pub Vec<ArgReq>);
 
 /// A full typing of a definition (one requirement per parameter).
@@ -156,12 +156,18 @@ impl Default for CheckLimits {
 /// Statistics from a model-checking run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CheckStats {
-    /// Saturation rounds until fixpoint.
+    /// Saturation rounds (worklist batches) until fixpoint.
     pub rounds: usize,
     /// Final number of typings.
     pub typings: usize,
     /// 0CFA flow facts.
     pub flow_facts: usize,
+    /// Definitions re-processed by the worklist (one pop = one definition
+    /// searched once).
+    pub worklist_pops: usize,
+    /// Definitions a round-based sweep would have re-searched but the
+    /// dependency index proved unaffected.
+    pub rescans_avoided: usize,
 }
 
 /// The saturation model checker. Create with [`Checker::new`], run with
@@ -182,7 +188,19 @@ pub struct Checker<'p> {
     /// these (instead of all 2^width combinations), which is what keeps the
     /// checker polynomial on protocol-style programs.
     base_flow: BTreeMap<(FunName, usize), BTreeSet<Bits>>,
-    flow_changed: bool,
+    /// Index of each definition in `program.defs` (worklist entries are
+    /// definition indices so draining in sorted order is definition order).
+    def_index: BTreeMap<FunName, usize>,
+    /// Dynamic dependency index: `consumers[g]` is the set of definitions
+    /// whose last search read `gamma.of(g)`. Registered at every read site
+    /// — even when the typing set is still empty — so a later insertion for
+    /// `g` knows exactly which definitions to re-search.
+    consumers: BTreeMap<FunName, BTreeSet<usize>>,
+    /// The definition currently being searched by `saturate` (dependency
+    /// reads are attributed to it); `None` outside saturation.
+    cur_def: Option<usize>,
+    /// Definitions whose inputs changed since they were last searched.
+    dirty: BTreeSet<usize>,
 }
 
 impl<'p> Checker<'p> {
@@ -215,6 +233,12 @@ impl<'p> Checker<'p> {
             .iter()
             .map(|d| (d.name.clone(), d.params.len()))
             .collect();
+        let def_index = program
+            .defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), i))
+            .collect();
         let stats = CheckStats {
             flow_facts: flows.fact_count(),
             ..CheckStats::default()
@@ -229,7 +253,10 @@ impl<'p> Checker<'p> {
             steps: 0,
             stats,
             base_flow: BTreeMap::new(),
-            flow_changed: false,
+            def_index,
+            consumers: BTreeMap::new(),
+            cur_def: None,
+            dirty: (0..program.defs.len()).collect(),
         })
     }
 
@@ -262,67 +289,101 @@ impl<'p> Checker<'p> {
             .def(&self.program.main)
             .expect("main exists")
             .clone();
-        self.search_fail(&d, e, env)
+        // One clone up front; the search itself mutates scoped bindings in
+        // place and restores them on the way out.
+        let mut env = env.clone();
+        self.search_fail(&d, e, &mut env)
     }
 
-    /// Runs the saturation to fixpoint.
+    /// Runs the saturation to fixpoint, driven by a dependency-indexed
+    /// worklist instead of whole-program rounds.
+    ///
+    /// Every definition starts dirty. Searching a definition registers, at
+    /// each `gamma`/flow read site, a dependency edge from the function read
+    /// to the definition under search ([`Self::note_dep`]); a new typing or
+    /// base-flow fact then dirties exactly the registered consumers. This is
+    /// sound because read sets only grow along with the (monotone) fact
+    /// tables: a search can only reach a *new* read site after one of its
+    /// *previously read* facts changed, which re-dirties it first. Batches
+    /// drain in definition order, so derivation order — and hence the final
+    /// table — matches the old round-based sweep.
     pub fn saturate(&mut self) -> Result<(), CheckError> {
         let program = self.program;
-        loop {
-            let mut changed = false;
-            for d in &program.defs {
-                let combos = self.base_combos(d)?;
-                for combo in combos {
-                    self.steps = 0;
-                    let mut env: BTreeMap<Var, AVal> = BTreeMap::new();
-                    let mut i = 0;
-                    for (x, t) in &d.params {
-                        match t {
-                            BTy::Tuple(_) => {
-                                env.insert(x.clone(), AVal::Base(combo[i]));
-                                i += 1;
-                            }
-                            _ => {
-                                env.insert(
-                                    x.clone(),
-                                    AVal::Clo(CloHead::Param(x.clone()), Vec::new()),
-                                );
-                            }
-                        }
-                    }
-                    let reqs_list = self.search_fail(d, &d.body, &env)?;
-                    for reqs in reqs_list {
-                        let mut typing = Vec::new();
-                        let mut i = 0;
-                        for (x, t) in &d.params {
-                            match t {
-                                BTy::Tuple(_) => {
-                                    typing.push(ArgReq::Base(combo[i]));
-                                    i += 1;
-                                }
-                                _ => typing.push(ArgReq::Fn(
-                                    reqs.get(x).cloned().unwrap_or_default(),
-                                )),
-                            }
-                        }
-                        if self.gamma.insert(&d.name, typing) {
-                            changed = true;
-                        }
-                        if self.gamma.len() > self.limits.max_typings {
-                            return Err(CheckError::limit(
-                                LimitKind::Size,
-                                format!("more than {} typings", self.limits.max_typings),
-                            ));
-                        }
-                    }
-                }
+        while !self.dirty.is_empty() {
+            let batch: Vec<usize> = std::mem::take(&mut self.dirty).into_iter().collect();
+            self.stats.rescans_avoided += program.defs.len() - batch.len();
+            for di in batch {
+                let d = &program.defs[di];
+                self.cur_def = Some(di);
+                let searched = self.search_def(d);
+                self.cur_def = None;
+                searched?;
             }
             self.stats.rounds += 1;
             self.stats.typings = self.gamma.len();
-            if !changed && !self.flow_changed {
-                return Ok(());
+        }
+        Ok(())
+    }
+
+    /// Searches one definition under every live base-tuple combination,
+    /// inserting the typings it derives.
+    fn search_def(&mut self, d: &BDef) -> Result<(), CheckError> {
+        self.stats.worklist_pops += 1;
+        let combos = self.base_combos(d)?;
+        for combo in combos {
+            self.steps = 0;
+            let mut env: BTreeMap<Var, AVal> = BTreeMap::new();
+            let mut i = 0;
+            for (x, t) in &d.params {
+                match t {
+                    BTy::Tuple(_) => {
+                        env.insert(x.clone(), AVal::Base(combo[i]));
+                        i += 1;
+                    }
+                    _ => {
+                        env.insert(x.clone(), AVal::Clo(CloHead::Param(x.clone()), Vec::new()));
+                    }
+                }
             }
-            self.flow_changed = false;
+            let reqs_list = self.search_fail(d, &d.body, &mut env)?;
+            for reqs in reqs_list {
+                let mut typing = Vec::new();
+                let mut i = 0;
+                for (x, t) in &d.params {
+                    match t {
+                        BTy::Tuple(_) => {
+                            typing.push(ArgReq::Base(combo[i]));
+                            i += 1;
+                        }
+                        _ => typing.push(ArgReq::Fn(reqs.get(x).cloned().unwrap_or_default())),
+                    }
+                }
+                if self.gamma.insert(&d.name, typing) {
+                    self.mark_consumers(&d.name);
+                }
+                if self.gamma.len() > self.limits.max_typings {
+                    return Err(CheckError::limit(
+                        LimitKind::Size,
+                        format!("more than {} typings", self.limits.max_typings),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records that the definition currently being searched read the typing
+    /// set of `g` (no-op outside saturation, e.g. during path extraction).
+    fn note_dep(&mut self, g: &FunName) {
+        if let Some(i) = self.cur_def {
+            self.consumers.entry(g.clone()).or_default().insert(i);
+        }
+    }
+
+    /// Dirties every registered consumer of `g`'s typing set.
+    fn mark_consumers(&mut self, g: &FunName) {
+        if let Some(cs) = self.consumers.get(g) {
+            self.dirty.extend(cs.iter().copied());
         }
     }
 
@@ -438,7 +499,7 @@ impl<'p> Checker<'p> {
         &mut self,
         d: &BDef,
         e: &BExpr,
-        env: &BTreeMap<Var, AVal>,
+        env: &mut BTreeMap<Var, AVal>,
     ) -> Result<Vec<AVal>, CheckError> {
         let mut out = self.rhs_values_raw(d, e, env)?;
         out.sort();
@@ -450,7 +511,7 @@ impl<'p> Checker<'p> {
         &mut self,
         d: &BDef,
         e: &BExpr,
-        env: &BTreeMap<Var, AVal>,
+        env: &mut BTreeMap<Var, AVal>,
     ) -> Result<Vec<AVal>, CheckError> {
         self.step()?;
         match e {
@@ -458,9 +519,10 @@ impl<'p> Checker<'p> {
             BExpr::Let(x, rhs, body) => {
                 let mut out = Vec::new();
                 for v in self.rhs_values(d, rhs, env)? {
-                    let mut env2 = env.clone();
-                    env2.insert(x.clone(), v);
-                    out.extend(self.rhs_values(d, body, &env2)?);
+                    let prev = env.insert(x.clone(), v);
+                    let r = self.rhs_values(d, body, env);
+                    restore(env, x, prev);
+                    out.extend(r?);
                 }
                 Ok(out)
             }
@@ -487,11 +549,15 @@ impl<'p> Checker<'p> {
     }
 
     /// All requirement sets under which `e` may reach `fail`.
+    ///
+    /// Invariant: `env` is returned exactly as it was passed in — `let`
+    /// bindings are inserted in place and undone afterwards, so binding is
+    /// O(log |env|) instead of cloning the whole map per binder.
     fn search_fail(
         &mut self,
         d: &BDef,
         e: &BExpr,
-        env: &BTreeMap<Var, AVal>,
+        env: &mut BTreeMap<Var, AVal>,
     ) -> Result<Vec<Reqs>, CheckError> {
         self.step()?;
         match e {
@@ -517,9 +583,10 @@ impl<'p> Checker<'p> {
             BExpr::Let(x, rhs, body) => {
                 let mut out = Vec::new();
                 for v in self.rhs_values(d, rhs, env)? {
-                    let mut env2 = env.clone();
-                    env2.insert(x.clone(), v);
-                    out.extend(self.search_fail(d, body, &env2)?);
+                    let prev = env.insert(x.clone(), v);
+                    let r = self.search_fail(d, body, env);
+                    restore(env, x, prev);
+                    out.extend(r?);
                 }
                 dedup(&mut out);
                 Ok(out)
@@ -548,6 +615,7 @@ impl<'p> Checker<'p> {
         match chead {
             CloHead::Def(g) => {
                 self.record_base_flow(g, 0, full);
+                self.note_dep(g);
                 let typings: Vec<Typing> = self.gamma.of(g).cloned().collect();
                 for t in typings {
                     debug_assert_eq!(t.len(), full.len(), "arity mismatch calling {g}");
@@ -575,7 +643,8 @@ impl<'p> Checker<'p> {
     }
 
     /// Records that concrete base tuples flow into `g`'s parameters
-    /// starting at `offset`.
+    /// starting at `offset`. A new fact re-enqueues `g` itself: its set of
+    /// live base combinations just grew.
     fn record_base_flow(&mut self, g: &FunName, offset: usize, args: &[AVal]) {
         for (i, a) in args.iter().enumerate() {
             if let AVal::Base(b) = a {
@@ -584,7 +653,9 @@ impl<'p> Checker<'p> {
                     .entry((g.clone(), offset + i))
                     .or_default();
                 if set.insert(*b) {
-                    self.flow_changed = true;
+                    if let Some(&gi) = self.def_index.get(g) {
+                        self.dirty.insert(gi);
+                    }
                 }
             }
         }
@@ -592,16 +663,19 @@ impl<'p> Checker<'p> {
 
     /// Flow-guided candidate arrow types for parameter `x`, at the given
     /// remaining arity.
-    fn candidates(&self, d: &BDef, x: &Var, arity: usize) -> Vec<ArrowTy> {
+    fn candidates(&mut self, d: &BDef, x: &Var, arity: usize) -> Vec<ArrowTy> {
+        let sources: Vec<(FunName, usize)> = self.flows.of(&d.name, x).cloned().collect();
         let mut out = Vec::new();
-        for (g, j) in self.flows.of(&d.name, x) {
-            if self.arity.get(g).copied().unwrap_or(0) < *j {
+        let mut seen: HashSet<ArrowTy> = HashSet::new();
+        for (g, j) in sources {
+            if self.arity.get(&g).copied().unwrap_or(0) < j {
                 continue;
             }
-            for t in self.gamma.of(g) {
-                if t.len() >= *j && t.len() - j == arity {
-                    let tau = ArrowTy(t[*j..].to_vec());
-                    if !out.contains(&tau) {
+            self.note_dep(&g);
+            for t in self.gamma.of(&g) {
+                if t.len() >= j && t.len() - j == arity {
+                    let tau = ArrowTy(t[j..].to_vec());
+                    if seen.insert(tau.clone()) {
                         out.push(tau);
                     }
                 }
@@ -657,6 +731,7 @@ impl<'p> Checker<'p> {
             AVal::Base(_) => {}
             AVal::Clo(CloHead::Def(g), partial) => {
                 self.record_base_flow(g, 0, partial);
+                self.note_dep(g);
                 let typings: Vec<Typing> = self.gamma.of(g).cloned().collect();
                 for t in typings {
                     if t.len() != partial.len() + tau.0.len() {
@@ -698,16 +773,32 @@ fn weaker_reqs(a: &[ArgReq], b: &[ArgReq]) -> bool {
         })
 }
 
-/// Cross product of requirement maps, merging by union.
+/// Undoes a scoped `env.insert`: restores the shadowed binding or removes
+/// the key if it was fresh.
+fn restore(env: &mut BTreeMap<Var, AVal>, x: &Var, prev: Option<AVal>) {
+    match prev {
+        Some(p) => {
+            env.insert(x.clone(), p);
+        }
+        None => {
+            env.remove(x);
+        }
+    }
+}
+
+/// Cross product of requirement maps, merging by union. Hash-deduplicated:
+/// requirement sets get large on higher-order examples and a `contains` scan
+/// per product entry is O(n²).
 fn cross(a: &[Reqs], b: &[Reqs]) -> Vec<Reqs> {
     let mut out = Vec::new();
+    let mut seen: HashSet<Reqs> = HashSet::new();
     for x in a {
         for y in b {
             let mut m = x.clone();
             for (k, v) in y {
                 m.entry(k.clone()).or_default().extend(v.iter().cloned());
             }
-            if !out.contains(&m) {
+            if seen.insert(m.clone()) {
                 out.push(m);
             }
         }
@@ -715,16 +806,10 @@ fn cross(a: &[Reqs], b: &[Reqs]) -> Vec<Reqs> {
     out
 }
 
+/// Order-preserving hashed dedup of requirement maps.
 fn dedup(v: &mut Vec<Reqs>) {
-    let mut seen = Vec::new();
-    v.retain(|r| {
-        if seen.contains(r) {
-            false
-        } else {
-            seen.push(r.clone());
-            true
-        }
-    });
+    let mut seen: HashSet<Reqs> = HashSet::new();
+    v.retain(|r| seen.insert(r.clone()));
 }
 
 /// Convenience wrapper: saturate and report whether `main` may fail.

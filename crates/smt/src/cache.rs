@@ -1,0 +1,203 @@
+//! A shared memoization layer for the decision-procedure hot paths.
+//!
+//! CEGAR re-asks near-identical questions constantly: predicate abstraction
+//! issues the same entailments on every refinement iteration (only a few
+//! predicates change between rounds), feasibility checking re-solves growing
+//! prefixes of the same path condition, and interpolation revisits the same
+//! DNF cube pairs across the inductive/raw A-side attempts of every cut
+//! point. A [`QueryCache`] collapses all of that repeated work across the
+//! *whole* verification run.
+//!
+//! Three tables, all keyed by canonical forms so syntactic permutations
+//! collide:
+//!
+//! * **check** — full [`SmtSolver::check`](crate::SmtSolver::check) results,
+//!   keyed by [`Formula::canon`] plus the branch & bound depth.
+//! * **cube** — satisfiability tri-states of plain atom conjunctions (the
+//!   per-cube consistency probes of the interpolation engine), keyed by the
+//!   sorted atom list plus the split depth.
+//! * **interp** — per-cube-pair Craig interpolants, keyed by both sorted
+//!   cubes plus the split depth.
+//!
+//! The cache is interior-mutable (`Mutex` + atomics) so one `Arc<QueryCache>`
+//! can be shared by every solver of a run, including the per-worker solvers
+//! of parallel predicate abstraction. Budget preemptions
+//! ([`SatResult::Exhausted`](crate::SatResult::Exhausted)) are never cached:
+//! a result that depends on the clock must not masquerade as a semantic one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::formula::{Formula, Literal};
+use crate::linexpr::Atom;
+use crate::solver::Model;
+
+/// A memoizable satisfiability verdict (no `Exhausted` variant by design).
+#[derive(Clone, Debug)]
+pub enum CachedSat {
+    /// Satisfiable, with the model the solver found.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The solver's integer search gave up within its depth limit.
+    Unknown,
+}
+
+/// Consistency tri-state of an atom conjunction (cube).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CubeSat {
+    /// The cube has an integer model.
+    Sat,
+    /// The cube is unsatisfiable.
+    Unsat,
+    /// Undecided within the depth limit.
+    Unknown,
+}
+
+/// Hit/miss counters of a [`QueryCache`], totalled over all three tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the solver.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Key of the interpolant table: both cubes sorted, plus the split depth.
+type InterpKey = (Vec<Literal>, Vec<Literal>, u32);
+
+/// The shared query cache. See the module docs for the design.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    check: Mutex<HashMap<(Formula, u32), CachedSat>>,
+    cubes: Mutex<HashMap<(Vec<Atom>, u32), CubeSat>>,
+    interp: Mutex<HashMap<InterpKey, Option<Formula>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// A fresh, empty cache.
+    pub fn new() -> QueryCache {
+        QueryCache::default()
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Looks up a full `check` result by canonical formula and depth.
+    pub fn lookup_check(&self, key: &(Formula, u32)) -> Option<CachedSat> {
+        let found = self.check.lock().expect("cache poisoned").get(key).cloned();
+        match found {
+            Some(v) => {
+                self.hit();
+                Some(v)
+            }
+            None => {
+                self.miss();
+                None
+            }
+        }
+    }
+
+    /// Stores a `check` result. The caller must not pass preempted results.
+    pub fn store_check(&self, key: (Formula, u32), value: CachedSat) {
+        self.check.lock().expect("cache poisoned").insert(key, value);
+    }
+
+    /// Looks up a cube consistency tri-state. `atoms` must be sorted.
+    pub fn lookup_cube(&self, key: &(Vec<Atom>, u32)) -> Option<CubeSat> {
+        let found = self.cubes.lock().expect("cache poisoned").get(key).copied();
+        match found {
+            Some(v) => {
+                self.hit();
+                Some(v)
+            }
+            None => {
+                self.miss();
+                None
+            }
+        }
+    }
+
+    /// Stores a cube consistency tri-state.
+    pub fn store_cube(&self, key: (Vec<Atom>, u32), value: CubeSat) {
+        self.cubes.lock().expect("cache poisoned").insert(key, value);
+    }
+
+    /// Looks up a cube-pair interpolant (`None` inside the `Option` =
+    /// "provably not refutable"). Cube keys must be sorted.
+    #[allow(clippy::option_option)] // outer = cache presence, inner = refutability
+    pub fn lookup_interp(&self, key: &InterpKey) -> Option<Option<Formula>> {
+        let found = self.interp.lock().expect("cache poisoned").get(key).cloned();
+        match found {
+            Some(v) => {
+                self.hit();
+                Some(v)
+            }
+            None => {
+                self.miss();
+                None
+            }
+        }
+    }
+
+    /// Stores a cube-pair interpolant (or its definite absence).
+    pub fn store_interp(&self, key: InterpKey, value: Option<Formula>) {
+        self.interp.lock().expect("cache poisoned").insert(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+
+    #[test]
+    fn counters_track_lookups() {
+        let c = QueryCache::new();
+        let key = (Formula::True, 48u32);
+        assert!(c.lookup_check(&key).is_none());
+        c.store_check(key.clone(), CachedSat::Unsat);
+        assert!(matches!(c.lookup_check(&key), Some(CachedSat::Unsat)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.lookups(), 2);
+    }
+
+    #[test]
+    fn canonical_keys_collide_across_permutations() {
+        let a = Formula::atom(Atom::le0(LinExpr::var("x")));
+        let b = Formula::BVar("p".into());
+        let f1 = Formula::And(vec![a.clone(), b.clone()]);
+        let f2 = Formula::And(vec![b, a]);
+        assert_eq!(f1.canon(), f2.canon());
+        let c = QueryCache::new();
+        c.store_check((f1.canon(), 48), CachedSat::Unknown);
+        assert!(matches!(
+            c.lookup_check(&(f2.canon(), 48)),
+            Some(CachedSat::Unknown)
+        ));
+    }
+}

@@ -45,6 +45,12 @@ struct Row {
     coeffs: BTreeMap<Var, Rat>,
     cst: Rat,
     cert: FarkasCert,
+    /// `Some(i)` while this row is one half of the `= 0` pair of equality
+    /// atom `i` — the pair stays exact negatives of each other through
+    /// substitution and normalization, which is what lets [`rational_sat`]
+    /// eliminate its variables by *substitution* (linear in the row count)
+    /// instead of the quadratic Fourier–Motzkin cross product.
+    eq_id: Option<usize>,
 }
 
 impl Row {
@@ -57,6 +63,7 @@ impl Row {
             coeffs,
             cst: Rat::int(atom.lhs().constant_part() * sign),
             cert: vec![(idx, Rat::int(sign))],
+            eq_id: (atom.rel() == Rel::Eq).then_some(idx),
         }
     }
 
@@ -84,6 +91,7 @@ impl Row {
             coeffs,
             cst: self.cst + other.cst * k,
             cert,
+            eq_id: None,
         }
     }
 
@@ -109,10 +117,14 @@ impl Row {
         }
     }
 
-    fn key(&self) -> (Vec<(Var, Rat)>, Rat) {
+    fn key(&self) -> (Vec<(Var, Rat)>, Rat, Option<usize>) {
         (
             self.coeffs.iter().map(|(v, c)| (v.clone(), *c)).collect(),
             self.cst,
+            // Keeping the tag in the key stops dedup from merging an
+            // equality half into a coincidentally-equal inequality row —
+            // substitution needs both halves of a pair alive.
+            self.eq_id,
         )
     }
 }
@@ -148,6 +160,66 @@ pub fn rational_sat(atoms: &[Atom]) -> RatResult {
             }
         }
         rows = next;
+
+        // Gaussian presolve: a surviving equality pair lets its first
+        // variable be *substituted* away — one combination per row that
+        // mentions it, instead of the |pos|·|neg| Fourier–Motzkin cross
+        // product below. Trace path conditions are dominated by
+        // definitional equalities (`sym = expr` per A-normal bind), so this
+        // is the common case and turns elimination from quadratic growth
+        // into a linear sweep.
+        if let Some((v, i)) = rows.iter().find_map(|r| {
+            let i = r.eq_id?;
+            Some((r.coeffs.keys().next()?.clone(), i))
+        }) {
+            let (pair, others): (Vec<Row>, Vec<Row>) =
+                rows.into_iter().partition(|r| r.eq_id == Some(i));
+            let sign_on_v = |r: &&Row| r.coeffs.get(&v).map_or(0, |c| c.signum());
+            let p0 = pair.iter().find(|r| sign_on_v(r) > 0);
+            let n0 = pair.iter().find(|r| sign_on_v(r) < 0);
+            match (p0, n0) {
+                (Some(p0), Some(n0)) => {
+                    let a = p0.coeffs[&v]; // > 0; n0 has -a by pairing.
+                    let mut stage_rows = pair.clone();
+                    let mut next = Vec::new();
+                    for r in others {
+                        let Some(c) = r.coeffs.get(&v).copied() else {
+                            next.push(r);
+                            continue;
+                        };
+                        stage_rows.push(r.clone());
+                        let eq_id = r.eq_id;
+                        let mut s = if c.signum() > 0 {
+                            r.combine(n0, c / a)
+                        } else {
+                            r.combine(p0, (-c) / a)
+                        };
+                        debug_assert!(!s.coeffs.contains_key(&v));
+                        s.normalize();
+                        // Substituting into both halves of another pair
+                        // keeps them exact negatives, so the tag survives.
+                        s.eq_id = eq_id;
+                        next.push(s);
+                    }
+                    stages.push((v, stage_rows));
+                    rows = next;
+                    continue;
+                }
+                _ => {
+                    // Degenerate pair (half lost its `v` to normalization
+                    // asymmetry — not expected, but recoverable): retire
+                    // the tag and fall through to plain Fourier–Motzkin.
+                    rows = pair
+                        .into_iter()
+                        .map(|mut r| {
+                            r.eq_id = None;
+                            r
+                        })
+                        .chain(others)
+                        .collect();
+                }
+            }
+        }
 
         // Pick the variable whose elimination generates the fewest rows.
         let mut best: Option<(Var, usize)> = None;

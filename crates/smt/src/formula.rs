@@ -6,7 +6,7 @@ use std::fmt;
 use crate::linexpr::{Atom, LinExpr, Rel, Var};
 
 /// A quantifier-free formula over linear integer atoms and boolean variables.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Formula {
     /// The true constant.
     True,
@@ -26,7 +26,7 @@ pub enum Formula {
 
 /// A literal of the negation normal form: an arithmetic atom (always positive
 /// — negation is folded into the atom) or a signed boolean variable.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Literal {
     /// A (positive) arithmetic atom.
     Arith(Atom),
@@ -281,6 +281,34 @@ impl Formula {
                     any |= f.eval(ints, bools)?;
                 }
                 Some(any)
+            }
+        }
+    }
+
+    /// A canonical representative of the formula up to child order and
+    /// duplication inside `And`/`Or`, used as the [`crate::QueryCache`] key.
+    ///
+    /// Atoms are already canonical at construction (gcd-normalized, sign-
+    /// canonicalized), so sorting and deduplicating the n-ary connectives is
+    /// enough to make syntactic permutations collide: `canon(a ∧ b) ==
+    /// canon(b ∧ a)`. The result is semantically equivalent to `self` — any
+    /// model of one satisfies the other — which is what makes a cache entry
+    /// computed for one permutation reusable for all of them.
+    pub fn canon(&self) -> Formula {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) | Formula::BVar(_) => self.clone(),
+            Formula::Not(f) => Formula::Not(Box::new(f.canon())),
+            Formula::And(fs) => {
+                let mut cs: Vec<Formula> = fs.iter().map(Formula::canon).collect();
+                cs.sort_unstable();
+                cs.dedup();
+                Formula::And(cs)
+            }
+            Formula::Or(fs) => {
+                let mut cs: Vec<Formula> = fs.iter().map(Formula::canon).collect();
+                cs.sort_unstable();
+                cs.dedup();
+                Formula::Or(cs)
             }
         }
     }

@@ -14,6 +14,7 @@ use std::fmt;
 
 use homc_budget::{Budget, BudgetError, Phase};
 
+use crate::cache::{CubeSat, QueryCache};
 use crate::fm::{int_sat, rational_sat, FarkasCert, IntResult, RatResult};
 use crate::formula::{Formula, Literal};
 use crate::linexpr::{Atom, LinExpr, Rel, Var};
@@ -84,6 +85,24 @@ pub fn interpolate_budgeted(
     opts: InterpOptions,
     budget: &Budget,
 ) -> Result<Formula, InterpError> {
+    interpolate_budgeted_cached(a, b, opts, budget, None)
+}
+
+/// [`interpolate_budgeted`] with an optional shared [`QueryCache`].
+///
+/// CEGAR interpolates against the same trace prefixes repeatedly (the
+/// inductive and raw A-side attempts of adjacent cut points share most of
+/// their DNF cubes), so per-cube-pair interpolants and per-cube consistency
+/// checks are memoized, keyed by the *sorted* cubes plus the split depth.
+/// The budget checkpoint runs before each pair's lookup, so `smt:n` fault
+/// schedules are unaffected by cache state.
+pub fn interpolate_budgeted_cached(
+    a: &Formula,
+    b: &Formula,
+    opts: InterpOptions,
+    budget: &Budget,
+    cache: Option<&QueryCache>,
+) -> Result<Formula, InterpError> {
     let a_cubes = a.dnf(opts.dnf_limit).ok_or(InterpError::TooLarge)?;
     let b_cubes = b.dnf(opts.dnf_limit).ok_or(InterpError::TooLarge)?;
     // A ≡ false: interpolant false. B ≡ false: interpolant true.
@@ -100,11 +119,70 @@ pub fn interpolate_budgeted(
             budget
                 .checkpoint(Phase::Smt)
                 .map_err(InterpError::Exhausted)?;
-            conjuncts.push(cube_interpolant(ac, bc, opts)?);
+            conjuncts.push(cube_interpolant_cached(ac, bc, opts, cache)?);
         }
         disjuncts.push(Formula::and(conjuncts));
     }
     Ok(Formula::or(disjuncts))
+}
+
+/// [`cube_interpolant`] memoized per cube pair. A cube is a set of literals,
+/// so keys are sorted+deduped; `None` in the table records a definite
+/// `NotRefutable` at this split depth (also deterministic, hence cacheable).
+fn cube_interpolant_cached(
+    a_cube: &[Literal],
+    b_cube: &[Literal],
+    opts: InterpOptions,
+    cache: Option<&QueryCache>,
+) -> Result<Formula, InterpError> {
+    let Some(cache) = cache else {
+        return cube_interpolant(a_cube, b_cube, opts, None);
+    };
+    let canon_cube = |cube: &[Literal]| {
+        let mut c = cube.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    let key = (canon_cube(a_cube), canon_cube(b_cube), opts.split_depth);
+    if let Some(hit) = cache.lookup_interp(&key) {
+        return hit.ok_or(InterpError::NotRefutable);
+    }
+    match cube_interpolant(a_cube, b_cube, opts, Some(cache)) {
+        Ok(i) => {
+            cache.store_interp(key, Some(i.clone()));
+            Ok(i)
+        }
+        Err(InterpError::NotRefutable) => {
+            cache.store_interp(key, None);
+            Err(InterpError::NotRefutable)
+        }
+        // TooLarge/Exhausted carry no per-cube information; don't cache.
+        Err(e) => Err(e),
+    }
+}
+
+/// `int_sat` reduced to its tri-state verdict, memoized when a cache is
+/// available (the certificate/model is irrelevant to cube screening).
+fn cube_consistency(atoms: &[Atom], depth: u32, cache: Option<&QueryCache>) -> CubeSat {
+    let verdict = |atoms: &[Atom]| match int_sat(atoms, depth) {
+        IntResult::Sat(_) => CubeSat::Sat,
+        IntResult::Unsat(_) => CubeSat::Unsat,
+        IntResult::Unknown => CubeSat::Unknown,
+    };
+    let Some(cache) = cache else {
+        return verdict(atoms);
+    };
+    let mut sorted = atoms.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let key = (sorted, depth);
+    if let Some(hit) = cache.lookup_cube(&key) {
+        return hit;
+    }
+    let v = verdict(atoms);
+    cache.store_cube(key, v);
+    v
 }
 
 fn split_literals(cube: &[Literal]) -> (Vec<Atom>, Vec<(Var, bool)>) {
@@ -129,6 +207,7 @@ fn cube_interpolant(
     a_cube: &[Literal],
     b_cube: &[Literal],
     opts: InterpOptions,
+    cache: Option<&QueryCache>,
 ) -> Result<Formula, InterpError> {
     let (a_atoms, a_bools) = split_literals(a_cube);
     let (b_atoms, b_bools) = split_literals(b_cube);
@@ -137,14 +216,14 @@ fn cube_interpolant(
     if bool_conflict(&a_bools) {
         return Ok(Formula::False);
     }
-    if matches!(int_sat(&a_atoms, opts.split_depth), IntResult::Unsat(_)) {
+    if cube_consistency(&a_atoms, opts.split_depth, cache) == CubeSat::Unsat {
         return Ok(Formula::False);
     }
     // 2. B-cube inconsistent on its own → true is an interpolant.
     if bool_conflict(&b_bools) {
         return Ok(Formula::True);
     }
-    if matches!(int_sat(&b_atoms, opts.split_depth), IntResult::Unsat(_)) {
+    if cube_consistency(&b_atoms, opts.split_depth, cache) == CubeSat::Unsat {
         return Ok(Formula::True);
     }
     // 3. Propositional conflict across the cut: the shared literal itself.

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod fm;
 mod formula;
 mod interp;
@@ -45,12 +46,13 @@ mod linexpr;
 mod rat;
 mod solver;
 
+pub use cache::{CacheStats, CachedSat, CubeSat, QueryCache};
 pub use fm::{check_certificate, int_sat, rational_sat, FarkasCert, IntResult, RatResult};
 pub use formula::{Formula, Literal};
 pub use homc_budget::{Budget, BudgetError, FaultKind, FaultPlan, LimitKind, Phase};
 pub use interp::{
-    interpolate, interpolate_budgeted, interpolate_with, is_interpolant, InterpError,
-    InterpOptions,
+    interpolate, interpolate_budgeted, interpolate_budgeted_cached, interpolate_with,
+    is_interpolant, InterpError, InterpOptions,
 };
 pub use linexpr::{Atom, LinExpr, Rel, Var};
 pub use rat::{gcd, Rat};

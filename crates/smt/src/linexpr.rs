@@ -52,7 +52,7 @@ impl From<String> for Var {
 /// A linear expression `c₁·x₁ + … + cₙ·xₙ + k` with integer coefficients.
 ///
 /// Invariant: no coefficient stored in the map is zero.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LinExpr {
     coeffs: BTreeMap<Var, i128>,
     constant: i128,
@@ -266,7 +266,7 @@ impl fmt::Display for LinExpr {
 }
 
 /// The relation of an atomic constraint, always against zero.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Rel {
     /// `e <= 0`
     Le,
@@ -278,7 +278,7 @@ pub enum Rel {
 ///
 /// Strict comparisons over the integers are normalized away at construction
 /// (`e < 0` becomes `e + 1 <= 0`), so only `Le` and `Eq` remain.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Atom {
     lhs: LinExpr,
     rel: Rel,

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use homc_budget::{Budget, BudgetError, Phase};
 
+use crate::cache::{CachedSat, QueryCache};
 use crate::fm::{int_sat, rational_sat, IntResult, RatResult};
 use crate::formula::Formula;
 use crate::linexpr::{Atom, Var};
@@ -77,6 +78,7 @@ impl SatResult {
 pub struct SmtSolver {
     limits: SolverLimits,
     budget: Option<Arc<Budget>>,
+    cache: Option<Arc<QueryCache>>,
 }
 
 /// Tunable search limits of the solver.
@@ -105,12 +107,31 @@ impl SmtSolver {
         SmtSolver {
             limits: SolverLimits::default(),
             budget: Some(budget),
+            cache: None,
         }
     }
 
     /// The budget this solver checkpoints against, if any.
     pub fn budget(&self) -> Option<&Arc<Budget>> {
         self.budget.as_ref()
+    }
+
+    /// Attaches a shared [`QueryCache`]; subsequent [`check`](Self::check)
+    /// calls (and everything built on them — `is_valid`, `entails`,
+    /// `maybe_sat`) are memoized under the canonical form of the query.
+    pub fn set_cache(&mut self, cache: Arc<QueryCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// Builder-style variant of [`set_cache`](Self::set_cache).
+    pub fn with_cache(mut self, cache: Arc<QueryCache>) -> SmtSolver {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The query cache this solver consults, if any.
+    pub fn cache(&self) -> Option<&Arc<QueryCache>> {
+        self.cache.as_ref()
     }
 
     /// The branch & bound depth limit.
@@ -124,12 +145,45 @@ impl SmtSolver {
     }
 
     /// Checks satisfiability of `f` over the integers.
+    ///
+    /// The budget checkpoint always runs *before* any cache lookup, so
+    /// injected `smt:n` faults fire at the same query index whether or not
+    /// the answer is memoized — fault-injection schedules stay deterministic
+    /// across cache states.
     pub fn check(&self, f: &Formula) -> SatResult {
         if let Some(budget) = &self.budget {
             if let Err(e) = budget.checkpoint(Phase::Smt) {
                 return SatResult::Exhausted(e);
             }
         }
+        let Some(cache) = &self.cache else {
+            return self.solve(f);
+        };
+        // Keyed by canonical form so permuted/duplicated conjuncts collide;
+        // the verdict class (Sat/Unsat/Unknown) is invariant under child
+        // reordering, so solving the original formula and storing under the
+        // canonical key is sound.
+        let key = (f.canon(), self.limits.bb_depth);
+        if let Some(hit) = cache.lookup_check(&key) {
+            return match hit {
+                CachedSat::Sat(m) => SatResult::Sat(m),
+                CachedSat::Unsat => SatResult::Unsat,
+                CachedSat::Unknown => SatResult::Unknown,
+            };
+        }
+        let res = self.solve(f);
+        match &res {
+            SatResult::Sat(m) => cache.store_check(key, CachedSat::Sat(m.clone())),
+            SatResult::Unsat => cache.store_check(key, CachedSat::Unsat),
+            SatResult::Unknown => cache.store_check(key, CachedSat::Unknown),
+            // Preempted queries carry no semantic information; never cache.
+            SatResult::Exhausted(_) => {}
+        }
+        res
+    }
+
+    /// The uncached solver core: NNF + implicant search.
+    fn solve(&self, f: &Formula) -> SatResult {
         let nnf = f.nnf();
         let mut unknown = false;
         let res = self.search(

@@ -30,4 +30,10 @@ run cargo test -q "${CARGO_FLAGS[@]}"
 # under budget is an outcome, not a failure).
 run cargo run --release --offline --bin homc -- --suite --timeout 1
 
+# Bench smoke: regenerate Table 1 at full budget and refresh the baseline
+# JSON (per-program wall times + hot-path counters). The stage fails on any
+# verdict mismatch against the paper; wall-time drift is tracked by diffing
+# BENCH_table1.json in review, not gated here (CI machines vary).
+run cargo run --release --offline -p homc-bench --bin table1 -- --json BENCH_table1.json
+
 echo "tier1: OK"
