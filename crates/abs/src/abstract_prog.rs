@@ -36,6 +36,7 @@ use std::sync::Arc;
 
 use homc_budget::{Budget, BudgetError, Phase};
 use homc_hbp::{BDef, BExpr, BProgram, BVal, BoolExpr};
+use homc_trace::Tracer;
 use homc_lang::kernel::{Const, Def, Expr, FunName, Op, Program, Value};
 use homc_lang::types::SimpleTy;
 use homc_smt::{Atom, Formula, LinExpr, QueryCache, SatResult, SmtSolver, Var};
@@ -152,15 +153,40 @@ pub fn abstract_program_cached(
     budget: Option<Arc<Budget>>,
     cache: Option<Arc<QueryCache>>,
 ) -> Result<(BProgram, AbsStats), AbsError> {
+    abstract_program_traced(program, env, opts, budget, cache, &Tracer::disabled())
+}
+
+/// [`abstract_program_cached`] with a trace sink: each definition task emits
+/// one `abs_def` event (definition name, SMT queries spent, wall time) and
+/// its internal entailment queries flow to the solver-level `smt` events.
+/// Worker threads share the sink — events interleave per line, and a
+/// disabled tracer costs nothing. Tracing never alters the schedule or the
+/// output: the byte-identical-at-any-thread-count guarantee is unchanged.
+pub fn abstract_program_traced(
+    program: &Program,
+    env: &AbsEnv,
+    opts: &AbsOptions,
+    budget: Option<Arc<Budget>>,
+    cache: Option<Arc<QueryCache>>,
+    tracer: &Tracer,
+) -> Result<(BProgram, AbsStats), AbsError> {
     let n = program.defs.len();
     let threads = opts.threads.clamp(1, n.max(1));
     let sequential =
         threads <= 1 || n < 2 || budget.as_deref().is_some_and(Budget::has_faults);
 
     let abstract_one = |ns: usize, d: &Def| -> DefResult {
-        let mut a = Abstractor::new(program, env, opts, budget.clone(), cache.clone(), ns);
+        let started = std::time::Instant::now();
+        let mut a =
+            Abstractor::new(program, env, opts, budget.clone(), cache.clone(), ns)
+                .with_tracer(tracer.clone());
         let def = a.abstract_def(d)?;
         a.out.push(def);
+        tracer.emit("abs_def", |e| {
+            e.str("def", &d.name.0);
+            e.num("queries", a.stats.sat_queries as u64);
+            e.num("dur_us", tracer.dur_us(started));
+        });
         Ok((a.out, a.stats))
     };
 
@@ -217,7 +243,8 @@ pub fn abstract_program_cached(
 
     // The entry wrapper reads the final environment of `main`; it runs after
     // the fan-out, in its own name namespace.
-    let mut a = Abstractor::new(program, env, opts, budget, cache, n);
+    let mut a =
+        Abstractor::new(program, env, opts, budget, cache, n).with_tracer(tracer.clone());
     let entry = a.build_entry()?;
     stats.sat_queries += a.stats.sat_queries;
     stats.coercions += a.stats.coercions;
@@ -291,6 +318,13 @@ impl<'a> Abstractor<'a> {
             counter: 0,
             stats: AbsStats::default(),
         }
+    }
+
+    /// Routes this task's SMT queries to the trace sink (each solved
+    /// entailment becomes an `smt` event).
+    fn with_tracer(mut self, tracer: Tracer) -> Abstractor<'a> {
+        self.solver.set_tracer(tracer);
+        self
     }
 
     fn checkpoint(&self) -> Result<(), AbsError> {

@@ -38,7 +38,7 @@ pub mod abstract_prog;
 pub mod types;
 
 pub use abstract_prog::{
-    abstract_program, abstract_program_budgeted, abstract_program_cached, AbsError, AbsOptions,
-    AbsStats,
+    abstract_program, abstract_program_budgeted, abstract_program_cached,
+    abstract_program_traced, AbsError, AbsOptions, AbsStats,
 };
 pub use types::{AbsEnv, AbsTy, Predicate};

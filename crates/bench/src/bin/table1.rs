@@ -58,6 +58,7 @@ fn to_json(rows: &[Row]) -> String {
         let _ = writeln!(
             body,
             "    {{\"name\": {}, \"verdict\": {}, \"verdict_ok\": {}, \"cycles\": {}, \
+             \"iterations\": {}, \"peak_hbp\": {}, \
              \"abst_s\": {:.4}, \"mc_s\": {:.4}, \"cegar_s\": {:.4}, \"total_s\": {:.4}, \
              \"smt_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"worklist_pops\": {}, \"rescans_avoided\": {}}}{}",
@@ -65,6 +66,8 @@ fn to_json(rows: &[Row]) -> String {
             json_str(verdict),
             r.verdict_ok,
             s.cycles,
+            r.iterations,
+            r.peak_hbp,
             s.abst.as_secs_f64(),
             s.mc.as_secs_f64(),
             s.cegar.as_secs_f64(),

@@ -11,7 +11,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use homc::{suite::SuiteProgram, verify, Expected, Verdict, VerifierOptions, VerifyOutcome};
+use homc::{
+    parse_json, suite::SuiteProgram, verify, Expected, JsonValue, Tracer, Verdict,
+    VerifierOptions, VerifyOutcome,
+};
 
 /// One row of the regenerated Table 1.
 #[derive(Clone, Debug)]
@@ -24,22 +27,54 @@ pub struct Row {
     pub verdict_ok: bool,
     /// The paper's cycle count for comparison.
     pub paper_cycles: usize,
+    /// CEGAR iterations observed by the trace layer (count of `iter`
+    /// events — includes exhausted/faulted iterations).
+    pub iterations: usize,
+    /// Peak boolean-program size (AST nodes) across iterations, from the
+    /// trace layer's per-iteration `hbp_terms`.
+    pub peak_hbp: usize,
 }
 
-/// Runs one suite program and checks its verdict against the paper's.
+/// Distills `(iterations, peak HBP size)` from a run's trace.
+fn trace_metrics(trace: &str) -> (usize, usize) {
+    let (mut iters, mut peak) = (0usize, 0usize);
+    for line in trace.lines() {
+        let Ok(v) = parse_json(line) else { continue };
+        if v.get("ev").and_then(JsonValue::as_str) != Some("iter") {
+            continue;
+        }
+        iters += 1;
+        if let Some(h) = v.get("hbp_terms").and_then(JsonValue::as_num) {
+            peak = peak.max(h as usize);
+        }
+    }
+    (iters, peak)
+}
+
+/// Runs one suite program and checks its verdict against the paper's. The
+/// run carries an in-memory tracer so the row can report iteration counts
+/// and peak HBP size; the overhead (a few dozen formatted events) is noise
+/// at the suite's time scales.
 pub fn run_program(p: &SuiteProgram) -> Row {
-    let outcome = verify(p.source, &VerifierOptions::default())
-        .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    let tracer = Tracer::memory(false);
+    let opts = VerifierOptions {
+        tracer: tracer.clone(),
+        ..VerifierOptions::default()
+    };
+    let outcome = verify(p.source, &opts).unwrap_or_else(|e| panic!("{}: {e}", p.name));
     let verdict_ok = match p.expected {
         Expected::Safe => outcome.verdict.is_safe(),
         Expected::Unsafe => outcome.verdict.is_unsafe(),
         Expected::Diverges => !outcome.verdict.is_unsafe(),
     };
+    let (iterations, peak_hbp) = trace_metrics(&tracer.snapshot().unwrap_or_default());
     Row {
         name: p.name,
         outcome,
         verdict_ok,
         paper_cycles: p.paper_cycles,
+        iterations,
+        peak_hbp,
     }
 }
 

@@ -24,8 +24,8 @@ pub mod shp;
 pub use enumerate::gen_p;
 pub use refine::{
     check_feasibility, discover_predicates, discover_predicates_budgeted,
-    discover_predicates_cached, refine_env, refine_env_budgeted, Feasibility, RefineError,
-    RefineOptions, Refinement,
+    discover_predicates_cached, discover_predicates_traced, refine_env, refine_env_budgeted,
+    refine_env_traced, Feasibility, RefineError, RefineOptions, Refinement,
 };
 pub use shp::{
     build_trace, build_trace_budgeted, Activation, Event, SymVal, Trace, TraceEnd, TraceError,

@@ -33,6 +33,7 @@ use homc_smt::{
     interpolate_budgeted_cached, Formula, InterpError, InterpOptions, QueryCache, SatResult,
     SmtSolver, Var,
 };
+use homc_trace::Tracer;
 
 use crate::shp::{Event, Trace};
 use homc_smt::LinExpr;
@@ -93,6 +94,10 @@ pub struct Refinement {
     pub interpolated: usize,
     /// Number of predicates seeded from path conditions.
     pub seeded: usize,
+    /// Size (formula node count) of the largest interpolant solved at a cut
+    /// point this refinement — the telemetry layer's proxy for interpolation
+    /// difficulty.
+    pub max_interp_size: usize,
 }
 
 /// A predicate for an argument position of a function-typed parameter.
@@ -197,6 +202,21 @@ pub fn discover_predicates_cached(
     opts: &RefineOptions,
     budget: &Budget,
     cache: Option<&QueryCache>,
+) -> Result<Refinement, RefineError> {
+    discover_predicates_traced(program, trace, opts, budget, cache, &Tracer::disabled())
+}
+
+/// [`discover_predicates_cached`] with an attached [`Tracer`]: each cut
+/// point that solves to a non-trivial interpolant emits an `interp_cut`
+/// event carrying the cut index and the interpolant's formula size. With a
+/// disabled tracer this is exactly `discover_predicates_cached`.
+pub fn discover_predicates_traced(
+    program: &Program,
+    trace: &Trace,
+    opts: &RefineOptions,
+    budget: &Budget,
+    cache: Option<&QueryCache>,
+    tracer: &Tracer,
 ) -> Result<Refinement, RefineError> {
     let mut out = Refinement::default();
     // sym → original-name maps and (sym, index) lists, per activation.
@@ -314,6 +334,11 @@ pub fn discover_predicates_cached(
             }
         }
         if !matches!(solution, Formula::True) {
+            let size = solution.size();
+            out.max_interp_size = out.max_interp_size.max(size);
+            tracer.emit("interp_cut", |e| {
+                e.num("cut", ci as u64).num("size", size as u64);
+            });
             record_predicate(
                 &trace.events[i],
                 &solution,
@@ -659,17 +684,36 @@ pub fn refine_env_budgeted(
     opts: &RefineOptions,
     budget: &Budget,
 ) -> Result<(Feasibility, bool), RefineError> {
+    let (feas, changed, _) =
+        refine_env_traced(program, trace, env, solver, opts, budget, &Tracer::disabled())?;
+    Ok((feas, changed))
+}
+
+/// [`refine_env_budgeted`] with an attached [`Tracer`], additionally
+/// returning the [`Refinement`] itself so callers can report what was
+/// discovered (interpolated/seeded counts, higher-order updates, largest
+/// interpolant). The returned refinement is empty when the path was
+/// feasible or the budget preempted the feasibility check.
+pub fn refine_env_traced(
+    program: &Program,
+    trace: &Trace,
+    env: &mut AbsEnv,
+    solver: &SmtSolver,
+    opts: &RefineOptions,
+    budget: &Budget,
+    tracer: &Tracer,
+) -> Result<(Feasibility, bool, Refinement), RefineError> {
     let feas = check_feasibility(trace, solver);
     if matches!(feas, Feasibility::Feasible(_) | Feasibility::Exhausted(_)) {
-        return Ok((feas, false));
+        return Ok((feas, false, Refinement::default()));
     }
     // Interpolation shares the solver's query cache (if it carries one), so
     // cube work survives across refinement iterations.
     let cache = solver.cache().map(std::sync::Arc::as_ref);
-    let refinement = discover_predicates_cached(program, trace, opts, budget, cache)?;
+    let refinement = discover_predicates_traced(program, trace, opts, budget, cache, tracer)?;
     let mut changed = env.refine(&refinement.fun_updates, &refinement.rand_updates);
     for u in &refinement.ho_updates {
         changed |= env.apply_ho_update(&u.def, &u.param, u.chain_pos, &u.pred);
     }
-    Ok((feas, changed))
+    Ok((feas, changed, refinement))
 }

@@ -3,6 +3,8 @@
 //! ```text
 //! homc [options] <file.ml>       verify a source file
 //! homc [options] --suite [name]  run the paper's Table 1 suite (or one program)
+//! homc trace-report <file.jsonl>    render a trace as a per-iteration timeline
+//! homc trace-validate <file.jsonl>  check every line against the event schema
 //!
 //! options:
 //!   --timeout <secs>      per-program wall-clock deadline (fractions allowed)
@@ -11,6 +13,11 @@
 //!   --stats               print per-program effort counters (SMT queries,
 //!                         query-cache hits/misses, worklist pops, rescans
 //!                         avoided) under each report line
+//!   --trace <file.jsonl>  write one JSON event per line: phase spans, one
+//!                         record per CEGAR iteration, SMT solves, faults
+//!   --trace-logical <file.jsonl>  same, under a logical clock (sequence
+//!                         numbers instead of timestamps, durations zeroed):
+//!                         byte-identical across runs and machines
 //! ```
 //!
 //! Every program reports exactly one of `safe`, `unsafe`, or `unknown`; the
@@ -22,7 +29,10 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use homc::{suite, verify, Expected, Fault, FaultPlan, Verdict, VerifierOptions, VerifyStats};
+use homc::{
+    render_report, suite, validate_trace, verify, Expected, Fault, FaultPlan, Tracer, Verdict,
+    VerifierOptions, VerifyStats,
+};
 
 fn fmt_d(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
@@ -63,10 +73,17 @@ fn run_one(
     opts: &VerifierOptions,
     show_stats: bool,
 ) -> RunReport {
+    let tracer = &opts.tracer;
+    tracer.emit("run_start", |e| {
+        e.str("name", name).str(
+            "clock",
+            if tracer.is_logical() { "logical" } else { "wall" },
+        );
+    });
     let t = Instant::now();
     let result = verify(source, opts);
     let wall = t.elapsed();
-    match result {
+    let report = match result {
         Ok(out) => {
             let v = match &out.verdict {
                 Verdict::Safe => "safe".to_string(),
@@ -97,7 +114,10 @@ fn run_one(
                     ""
                 },
             ));
-            if show_stats {
+            // An `unknown` run is precisely the one whose effort is worth
+            // inspecting (what was it doing when the budget hit?), so its
+            // partial counters are surfaced even without --stats.
+            if show_stats || status == RunStatus::Unknown {
                 say(format_args!(
                     "{:12} smt={} cache={}/{} worklist_pops={} rescans_avoided={}",
                     "",
@@ -116,13 +136,23 @@ fn run_one(
         }
         Err(e) => {
             eprintln!("{name}: error: {e}");
+            tracer.emit("fault", |ev| {
+                ev.str("phase", "frontend")
+                    .str("kind", "error")
+                    .str("detail", &e.to_string());
+            });
             RunReport {
                 status: RunStatus::Failed,
                 wall,
                 stats: None,
             }
         }
-    }
+    };
+    tracer.emit("run_end", |e| {
+        e.num("dur_us", tracer.dur_us(t));
+    });
+    tracer.flush();
+    report
 }
 
 struct Cli {
@@ -130,12 +160,16 @@ struct Cli {
     faults: FaultPlan,
     suite: bool,
     stats: bool,
+    trace: Option<(String, bool)>,
     target: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] [--stats] (<file.ml> | --suite [program])"
+        "usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] [--stats] \
+         [--trace <out.jsonl> | --trace-logical <out.jsonl>] (<file.ml> | --suite [program])\n\
+         \x20      homc trace-report <file.jsonl>\n\
+         \x20      homc trace-validate <file.jsonl>"
     );
     ExitCode::FAILURE
 }
@@ -146,6 +180,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         faults: FaultPlan::none(),
         suite: false,
         stats: false,
+        trace: None,
         target: None,
     };
     let mut i = 0;
@@ -176,6 +211,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.stats = true;
                 i += 1;
             }
+            flag @ ("--trace" | "--trace-logical") => {
+                let v = args.get(i + 1).ok_or_else(|| format!("{flag} needs a path"))?;
+                if cli.trace.is_some() {
+                    return Err("at most one of --trace/--trace-logical".to_string());
+                }
+                cli.trace = Some((v.clone(), flag == "--trace-logical"));
+                i += 2;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             other => {
                 if cli.target.is_some() {
@@ -189,10 +232,61 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// `homc trace-validate <file.jsonl>`: every line must parse and satisfy the
+/// event schema; exit non-zero (with the first offending line) otherwise.
+fn cmd_trace_validate(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("homc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_trace(&text) {
+        Ok(n) => {
+            say(format_args!("{path}: {n} events, schema-valid"));
+            ExitCode::SUCCESS
+        }
+        Err((line, e)) => {
+            eprintln!("homc: {path}:{line}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `homc trace-report <file.jsonl>`: per-run iteration timeline plus the
+/// top-k hottest SMT queries.
+fn cmd_trace_report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("homc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    say(format_args!("{}", render_report(&text).trim_end()));
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return usage();
+    }
+    match args[0].as_str() {
+        "trace-validate" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            return cmd_trace_validate(path);
+        }
+        "trace-report" => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            return cmd_trace_report(path);
+        }
+        _ => {}
     }
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
@@ -201,11 +295,22 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    let tracer = match &cli.trace {
+        None => Tracer::disabled(),
+        Some((path, logical)) => match Tracer::to_file(std::path::Path::new(path), *logical) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("homc: cannot open trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     // The budget (deadline + fault plan) is per program: each run_one call
     // builds a fresh Budget from these options.
     let opts = VerifierOptions {
         timeout: cli.timeout,
         faults: cli.faults.clone(),
+        tracer: tracer.clone(),
         ..VerifierOptions::default()
     };
 

@@ -49,6 +49,10 @@ pub mod verifier;
 pub use homc_budget::{
     Budget, BudgetError, Fault, FaultKind, FaultPlan, FaultSpecError, LimitKind, Phase,
 };
+pub use homc_trace::{
+    parse_json, render_report, stable_hash64, validate_line, validate_trace, JsonValue,
+    SchemaError, Tracer,
+};
 pub use suite::{Expected, SuiteProgram, SUITE};
 pub use verifier::{
     verify, verify_compiled, UnknownReason, Verdict, VerifierOptions, VerifyError, VerifyOutcome,

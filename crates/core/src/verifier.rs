@@ -28,16 +28,17 @@ use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
-use homc_abs::{abstract_program_cached, AbsEnv, AbsError, AbsOptions};
+use homc_abs::{abstract_program_traced, AbsEnv, AbsError, AbsOptions, AbsTy};
 use homc_cegar::{
-    build_trace_budgeted, refine_env_budgeted, Feasibility, RefineError, RefineOptions, TraceEnd,
+    build_trace_budgeted, refine_env_traced, Feasibility, RefineError, RefineOptions, TraceEnd,
     TraceError,
 };
 use homc_hbp::check::{CheckError, CheckLimits, Checker};
 use homc_hbp::{find_error_path, source_labels};
 use homc_lang::eval::Label;
 use homc_lang::{frontend, Compiled};
-use homc_smt::{Budget, BudgetError, FaultPlan, QueryCache, SmtSolver};
+use homc_smt::{Budget, BudgetError, FaultPlan, LimitKind, QueryCache, SmtSolver};
+use homc_trace::Tracer;
 
 /// Options controlling the verifier.
 #[derive(Clone, Debug)]
@@ -58,6 +59,13 @@ pub struct VerifierOptions {
     pub fuel: Option<u64>,
     /// Deterministic fault-injection plan (testing/robustness harness).
     pub faults: FaultPlan,
+    /// Structured-trace sink. The default ([`Tracer::disabled`]) is a no-op
+    /// handle: no events are formatted, no timestamps taken. When enabled,
+    /// every pipeline phase emits span/iteration/fault events; when the
+    /// tracer runs a *logical* clock, abstraction is forced sequential
+    /// (`threads = 1`) so the event stream is byte-deterministic — output
+    /// is identical at every thread count, so this cannot change verdicts.
+    pub tracer: Tracer,
 }
 
 impl Default for VerifierOptions {
@@ -71,6 +79,7 @@ impl Default for VerifierOptions {
             timeout: None,
             fuel: None,
             faults: FaultPlan::none(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -259,6 +268,107 @@ enum IterOutcome {
     Continue,
 }
 
+/// Per-iteration telemetry scratch, filled as `run_iteration` progresses so
+/// partial data survives a mid-phase panic (it is written *before* each
+/// phase's fallible step, behind the `trap_panics` boundary).
+#[derive(Default)]
+struct IterRecord {
+    /// Boolean-program rule count (top-level definitions).
+    hbp_rules: usize,
+    /// Boolean-program size (AST nodes).
+    hbp_terms: usize,
+    /// Intersection typings derived by saturation.
+    typings: usize,
+    /// Worklist pops this iteration.
+    pops: usize,
+    /// Re-scans avoided this iteration.
+    rescans: usize,
+    /// Counterexample length (source-level labels), 0 when none was found.
+    cex_len: usize,
+    /// Predicates discovered by interpolation this iteration.
+    new_interp: usize,
+    /// Predicates seeded from path conditions this iteration.
+    new_seeded: usize,
+    /// Higher-order position updates this iteration.
+    new_ho: usize,
+    /// Largest interpolant (formula nodes) solved this iteration.
+    interp_size_max: usize,
+}
+
+/// Predicate count of one abstraction type (recursing into arrow chains).
+fn preds_in_ty(t: &AbsTy) -> usize {
+    match t {
+        AbsTy::Base(_, ps) => ps.len(),
+        AbsTy::Fun(_, a, b) => preds_in_ty(a) + preds_in_ty(b),
+    }
+}
+
+/// Predicates per abstraction-type binding: one entry per function scheme
+/// (plus `rand:`-prefixed `rand_int` sites), zero-count bindings omitted.
+/// `BTreeMap` iteration order makes the listing deterministic.
+fn preds_by_binding(env: &AbsEnv) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (f, scheme) in &env.schemes {
+        let n: usize = scheme.iter().map(|(_, t)| preds_in_ty(t)).sum();
+        if n > 0 {
+            out.push((f.0.clone(), n as u64));
+        }
+    }
+    for (site, ps) in &env.rand_sites {
+        if !ps.is_empty() {
+            out.push((format!("rand:{site}"), ps.len() as u64));
+        }
+    }
+    out
+}
+
+/// The trace tag for an iteration's outcome.
+fn outcome_tag(outcome: &Result<IterOutcome, String>) -> &'static str {
+    match outcome {
+        Ok(IterOutcome::Continue) => "refined",
+        Ok(IterOutcome::Done(Verdict::Safe)) => "safe",
+        Ok(IterOutcome::Done(Verdict::Unsafe { .. })) => "unsafe",
+        Ok(IterOutcome::Done(Verdict::Unknown { reason })) => match reason {
+            UnknownReason::IterationsExhausted => "iterations",
+            UnknownReason::NoProgress => "no-progress",
+            UnknownReason::Budget(_) => "budget",
+            UnknownReason::ReplayMismatch(_) => "replay-mismatch",
+            UnknownReason::Inconclusive => "inconclusive",
+            UnknownReason::InternalFault(_) => "fault",
+        },
+        Err(_) => "panic",
+    }
+}
+
+/// Emits a `fault` event when the iteration ended on an *injected* fault —
+/// a budget error with [`LimitKind::Injected`] (kind `error`) or a trapped
+/// panic whose message carries the injection marker (kind `panic`).
+fn emit_injected_fault(tracer: &Tracer, outcome: &Result<IterOutcome, String>) {
+    match outcome {
+        Ok(IterOutcome::Done(Verdict::Unknown {
+            reason: UnknownReason::Budget(e),
+        })) if e.limit == LimitKind::Injected => {
+            tracer.emit("fault", |ev| {
+                ev.str("phase", e.phase.name())
+                    .str("kind", "error")
+                    .str("detail", &e.detail);
+            });
+        }
+        Err(msg) if msg.contains("injected fault") => {
+            // "injected fault: panic at {phase} checkpoint {n}"
+            let phase = msg
+                .split(" at ")
+                .nth(1)
+                .and_then(|s| s.split_whitespace().next())
+                .unwrap_or("?");
+            tracer.emit("fault", |ev| {
+                ev.str("phase", phase).str("kind", "panic").str("detail", msg);
+            });
+        }
+        _ => {}
+    }
+}
+
 /// Scales retryable limits ×4 for the escalation retry.
 fn escalate(limits: &mut CheckLimits, trace_fuel: &mut u64) {
     limits.max_base_combos = limits.max_base_combos.saturating_mul(4);
@@ -280,10 +390,19 @@ pub fn verify_compiled(
     // points, so the cache is shared by every solver (including the
     // parallel abstraction workers) and never reset between iterations.
     let cache = Arc::new(QueryCache::new());
-    let solver = SmtSolver::with_budget(budget.clone()).with_cache(cache.clone());
+    let tracer = opts.tracer.clone();
+    let solver = SmtSolver::with_budget(budget.clone())
+        .with_cache(cache.clone())
+        .with_tracer(tracer.clone());
     let mut env = AbsEnv::initial(&compiled.cps);
     let mut check_limits = opts.check;
     let mut trace_fuel = opts.trace_fuel;
+    // Under a logical clock the trace must be byte-deterministic, so force
+    // the (output-identical) sequential abstraction path.
+    let mut abs_opts = opts.abs.clone();
+    if tracer.is_logical() {
+        abs_opts.threads = 1;
+    }
     let mut verdict;
 
     'attempts: loop {
@@ -291,10 +410,24 @@ pub fn verify_compiled(
             reason: UnknownReason::IterationsExhausted,
         };
         for iteration in 0..opts.max_iterations {
+            // One record per CEGAR iteration, even for exhausted/faulted
+            // iterations: snapshot the monotone counters, run the iteration
+            // (partial telemetry survives a panic via `IterRecord`), then
+            // emit the deltas.
+            stats.cycles = iteration + 1;
+            let iter_start = Instant::now();
+            let (smt0, hits0, misses0, fuel0) = if tracer.enabled() {
+                let cs = cache.stats();
+                (stats.smt_queries, cs.hits, cs.misses, budget.fuel_used())
+            } else {
+                (0, 0, 0, 0)
+            };
+            let mut rec = IterRecord::default();
             let outcome = trap_panics(|| {
                 run_iteration(
                     compiled,
                     opts,
+                    &abs_opts,
                     check_limits,
                     trace_fuel,
                     iteration,
@@ -302,8 +435,37 @@ pub fn verify_compiled(
                     &solver,
                     &mut env,
                     &mut stats,
+                    &tracer,
+                    &mut rec,
                 )
             });
+            if tracer.enabled() {
+                emit_injected_fault(&tracer, &outcome);
+                let cs = cache.stats();
+                let tag = outcome_tag(&outcome);
+                let by_fun = preds_by_binding(&env);
+                tracer.emit("iter", |e| {
+                    e.num("iter", iteration as u64)
+                        .str("outcome", tag)
+                        .num("preds", env.fingerprint() as u64)
+                        .map_num("preds_by_fun", by_fun.iter().map(|(k, v)| (k.as_str(), *v)))
+                        .num("hbp_rules", rec.hbp_rules as u64)
+                        .num("hbp_terms", rec.hbp_terms as u64)
+                        .num("typings", rec.typings as u64)
+                        .num("pops", rec.pops as u64)
+                        .num("rescans", rec.rescans as u64)
+                        .num("cex_len", rec.cex_len as u64)
+                        .num("new_interp", rec.new_interp as u64)
+                        .num("new_seeded", rec.new_seeded as u64)
+                        .num("new_ho", rec.new_ho as u64)
+                        .num("interp_size_max", rec.interp_size_max as u64)
+                        .num("smt_queries", (stats.smt_queries - smt0) as u64)
+                        .num("cache_hits", cs.hits - hits0)
+                        .num("cache_misses", cs.misses - misses0)
+                        .num("fuel", budget.fuel_used() - fuel0)
+                        .num("dur_us", tracer.dur_us(iter_start));
+                });
+            }
             match outcome {
                 Ok(IterOutcome::Continue) => {}
                 Ok(IterOutcome::Done(v)) => {
@@ -339,6 +501,17 @@ pub fn verify_compiled(
     let cs = cache.stats();
     stats.cache_hits = cs.hits;
     stats.cache_misses = cs.misses;
+    tracer.emit("verdict", |e| {
+        let tag = match &verdict {
+            Verdict::Safe => "safe",
+            Verdict::Unsafe { .. } => "unsafe",
+            Verdict::Unknown { .. } => "unknown",
+        };
+        e.str("verdict", tag)
+            .num("cycles", stats.cycles as u64)
+            .num("retries", stats.retries as u64);
+    });
+    tracer.flush();
     Ok(VerifyOutcome {
         verdict,
         stats,
@@ -348,11 +521,14 @@ pub fn verify_compiled(
 }
 
 /// One CEGAR iteration: abstract, model-check, and — when an abstract error
-/// path exists — check feasibility and refine.
+/// path exists — check feasibility and refine. Phase timings are mirrored
+/// into `span` trace events; per-iteration counters go into `rec` as soon as
+/// they are known so they survive a later phase's panic.
 #[allow(clippy::too_many_arguments)]
 fn run_iteration(
     compiled: &Compiled,
     opts: &VerifierOptions,
+    abs_opts: &AbsOptions,
     check_limits: CheckLimits,
     trace_fuel: u64,
     iteration: usize,
@@ -360,19 +536,30 @@ fn run_iteration(
     solver: &SmtSolver,
     env: &mut AbsEnv,
     stats: &mut VerifyStats,
+    tracer: &Tracer,
+    rec: &mut IterRecord,
 ) -> IterOutcome {
     let unknown = |reason: UnknownReason| IterOutcome::Done(Verdict::Unknown { reason });
+    let span = |phase: &str, started: Instant| {
+        tracer.emit("span", |e| {
+            e.str("phase", phase)
+                .num("iter", iteration as u64)
+                .num("dur_us", tracer.dur_us(started));
+        });
+    };
 
     // Step 1: predicate abstraction (workers share the run-wide cache).
     let t = Instant::now();
-    let abs_result = abstract_program_cached(
+    let abs_result = abstract_program_traced(
         &compiled.cps,
         env,
-        &opts.abs,
+        abs_opts,
         Some(budget.clone()),
         solver.cache().cloned(),
+        tracer,
     );
     stats.abst += t.elapsed();
+    span("abs", t);
     let bp = match abs_result {
         Ok((bp, abs_stats)) => {
             stats.smt_queries += abs_stats.sat_queries;
@@ -384,21 +571,29 @@ fn run_iteration(
         }
     };
     stats.final_hbp_size = bp.size();
+    rec.hbp_rules = bp.defs.len();
+    rec.hbp_terms = bp.size();
 
     // Step 2: higher-order model checking.
     let t = Instant::now();
     let mc = (|| {
         let mut checker = Checker::with_budget(&bp, check_limits, budget)?;
-        checker.saturate()?;
+        checker.set_tracer(tracer.clone());
+        let saturated = checker.saturate();
         let cs = checker.stats();
         stats.worklist_pops += cs.worklist_pops;
         stats.rescans_avoided += cs.rescans_avoided;
+        rec.typings = cs.typings;
+        rec.pops = cs.worklist_pops;
+        rec.rescans = cs.rescans_avoided;
+        saturated?;
         if !checker.may_fail() {
             return Ok(None);
         }
         find_error_path(&mut checker)
     })();
     stats.mc += t.elapsed();
+    span("mc", t);
     let path = match mc {
         Ok(None) => return IterOutcome::Done(Verdict::Safe),
         Ok(Some(p)) => p,
@@ -408,13 +603,15 @@ fn run_iteration(
         }
     };
 
-    // Steps 3–4: feasibility and refinement.
+    // Step 3: replay the abstract error path (feasibility's trace build).
     let t = Instant::now();
     let labels = source_labels(&path);
+    rec.cex_len = labels.len();
     let trace = match build_trace_budgeted(&compiled.cps, &labels, trace_fuel, budget) {
         Ok(tr) => tr,
         Err(e) => {
             stats.cegar += t.elapsed();
+            span("feas", t);
             return match e {
                 TraceError::Exhausted(b) => unknown(UnknownReason::Budget(b)),
                 TraceError::Invalid(msg) => {
@@ -425,6 +622,7 @@ fn run_iteration(
     };
     if trace.end == TraceEnd::OutOfFuel {
         stats.cegar += t.elapsed();
+        span("feas", t);
         return unknown(UnknownReason::Budget(BudgetError::with_detail(
             homc_smt::Phase::Feas,
             homc_smt::LimitKind::Fuel,
@@ -433,26 +631,44 @@ fn run_iteration(
     }
     if trace.end != TraceEnd::ReachedFail {
         stats.cegar += t.elapsed();
+        span("feas", t);
         return unknown(UnknownReason::ReplayMismatch(format!(
             "abstract path did not replay to fail: {:?}",
             trace.end
         )));
     }
+    stats.cegar += t.elapsed();
+    span("feas", t);
+
+    // Step 4: feasibility verdict + interpolation-driven refinement.
+    let t = Instant::now();
     let refine_opts = RefineOptions {
         iteration,
         ..opts.refine
     };
-    let refined = refine_env_budgeted(&compiled.cps, &trace, env, solver, &refine_opts, budget);
+    let refined = refine_env_traced(
+        &compiled.cps,
+        &trace,
+        env,
+        solver,
+        &refine_opts,
+        budget,
+        tracer,
+    );
     stats.cegar += t.elapsed();
-    stats.cycles = iteration + 1;
+    span("interp", t);
     match refined {
-        Ok((Feasibility::Feasible(witness), _)) => IterOutcome::Done(Verdict::Unsafe {
+        Ok((Feasibility::Feasible(witness), _, _)) => IterOutcome::Done(Verdict::Unsafe {
             witness,
             path: labels,
         }),
-        Ok((Feasibility::Unknown, _)) => unknown(UnknownReason::Inconclusive),
-        Ok((Feasibility::Exhausted(e), _)) => unknown(UnknownReason::Budget(e)),
-        Ok((Feasibility::Infeasible, changed)) => {
+        Ok((Feasibility::Unknown, _, _)) => unknown(UnknownReason::Inconclusive),
+        Ok((Feasibility::Exhausted(e), _, _)) => unknown(UnknownReason::Budget(e)),
+        Ok((Feasibility::Infeasible, changed, refinement)) => {
+            rec.new_interp = refinement.interpolated;
+            rec.new_seeded = refinement.seeded;
+            rec.new_ho = refinement.ho_updates.len();
+            rec.interp_size_max = refinement.max_interp_size;
             if !changed {
                 unknown(UnknownReason::NoProgress)
             } else {

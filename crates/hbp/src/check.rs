@@ -27,6 +27,7 @@ use std::fmt;
 
 use homc_budget::{Budget, BudgetError, LimitKind, Phase};
 use homc_smt::Var;
+use homc_trace::Tracer;
 
 use crate::ast::{BDef, BExpr, BProgram, BTy, BVal, FunName};
 use crate::flow::{analyze, FlowResult};
@@ -201,6 +202,9 @@ pub struct Checker<'p> {
     cur_def: Option<usize>,
     /// Definitions whose inputs changed since they were last searched.
     dirty: BTreeSet<usize>,
+    /// Trace sink: one `mc_round` event per worklist batch (disabled by
+    /// default — a no-op handle).
+    tracer: Tracer,
 }
 
 impl<'p> Checker<'p> {
@@ -257,7 +261,15 @@ impl<'p> Checker<'p> {
             consumers: BTreeMap::new(),
             cur_def: None,
             dirty: (0..program.defs.len()).collect(),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attaches a trace sink; [`Checker::saturate`] then emits one
+    /// `mc_round` event per worklist batch (round number, table size, batch
+    /// size). Purely observational — derivation order is unchanged.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The final typing table (meaningful after [`Checker::saturate`]).
@@ -312,6 +324,7 @@ impl<'p> Checker<'p> {
         while !self.dirty.is_empty() {
             let batch: Vec<usize> = std::mem::take(&mut self.dirty).into_iter().collect();
             self.stats.rescans_avoided += program.defs.len() - batch.len();
+            let batch_len = batch.len();
             for di in batch {
                 let d = &program.defs[di];
                 self.cur_def = Some(di);
@@ -321,6 +334,11 @@ impl<'p> Checker<'p> {
             }
             self.stats.rounds += 1;
             self.stats.typings = self.gamma.len();
+            self.tracer.emit("mc_round", |e| {
+                e.num("round", self.stats.rounds as u64);
+                e.num("typings", self.stats.typings as u64);
+                e.num("dirty", batch_len as u64);
+            });
         }
         Ok(())
     }

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use homc_budget::{Budget, BudgetError, Phase};
+use homc_trace::{stable_hash64, Tracer};
 
 use crate::cache::{CachedSat, QueryCache};
 use crate::fm::{int_sat, rational_sat, IntResult, RatResult};
@@ -79,6 +80,7 @@ pub struct SmtSolver {
     limits: SolverLimits,
     budget: Option<Arc<Budget>>,
     cache: Option<Arc<QueryCache>>,
+    tracer: Tracer,
 }
 
 /// Tunable search limits of the solver.
@@ -108,6 +110,7 @@ impl SmtSolver {
             limits: SolverLimits::default(),
             budget: Some(budget),
             cache: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -134,6 +137,21 @@ impl SmtSolver {
         self.cache.as_ref()
     }
 
+    /// Attaches a trace sink; each *solved* query (a cache miss or an
+    /// uncached check) emits one `smt` event with its stable key, size,
+    /// result class, and solve time. Cache hits stay silent — they do no
+    /// solving work, and their aggregate is visible in the per-iteration
+    /// cache-delta fields.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Builder-style variant of [`set_tracer`](Self::set_tracer).
+    pub fn with_tracer(mut self, tracer: Tracer) -> SmtSolver {
+        self.tracer = tracer;
+        self
+    }
+
     /// The branch & bound depth limit.
     pub fn bb_depth(&self) -> u32 {
         self.limits.bb_depth
@@ -157,7 +175,7 @@ impl SmtSolver {
             }
         }
         let Some(cache) = &self.cache else {
-            return self.solve(f);
+            return self.solve_traced(f, None);
         };
         // Keyed by canonical form so permuted/duplicated conjuncts collide;
         // the verdict class (Sat/Unsat/Unknown) is invariant under child
@@ -171,7 +189,7 @@ impl SmtSolver {
                 CachedSat::Unknown => SatResult::Unknown,
             };
         }
-        let res = self.solve(f);
+        let res = self.solve_traced(f, Some(&key.0));
         match &res {
             SatResult::Sat(m) => cache.store_check(key, CachedSat::Sat(m.clone())),
             SatResult::Unsat => cache.store_check(key, CachedSat::Unsat),
@@ -179,6 +197,48 @@ impl SmtSolver {
             // Preempted queries carry no semantic information; never cache.
             SatResult::Exhausted(_) => {}
         }
+        res
+    }
+
+    /// [`solve`](Self::solve) plus the `smt` trace event. `canon` is the
+    /// canonical form when the cached path already computed it; when tracing
+    /// is disabled this is a plain `solve` call — no canonicalization, no
+    /// formatting.
+    fn solve_traced(&self, f: &Formula, canon: Option<&Formula>) -> SatResult {
+        if !self.tracer.enabled() {
+            return self.solve(f);
+        }
+        let started = std::time::Instant::now();
+        let res = self.solve(f);
+        let dur_us = self.tracer.dur_us(started);
+        let computed;
+        let canon = match canon {
+            Some(c) => c,
+            None => {
+                computed = f.canon();
+                &computed
+            }
+        };
+        let rendered = canon.to_string();
+        let result = match &res {
+            SatResult::Sat(_) => "sat",
+            SatResult::Unsat => "unsat",
+            SatResult::Unknown => "unknown",
+            // `solve` never preempts — exhaustion happens at the checkpoint
+            // before it — but stay total.
+            SatResult::Exhausted(_) => "unknown",
+        };
+        self.tracer.emit("smt", |e| {
+            let mut q: String = rendered.chars().take(120).collect();
+            if q.len() < rendered.len() {
+                q.push('…');
+            }
+            e.str("key", &format!("{:016x}", stable_hash64(&rendered)));
+            e.num("size", canon.size() as u64);
+            e.str("result", result);
+            e.num("dur_us", dur_us);
+            e.str("q", &q);
+        });
         res
     }
 

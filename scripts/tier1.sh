@@ -30,6 +30,15 @@ run cargo test -q "${CARGO_FLAGS[@]}"
 # under budget is an outcome, not a failure).
 run cargo run --release --offline --bin homc -- --suite --timeout 1
 
+# Trace smoke: one traced suite run must produce a schema-valid JSONL
+# trace (validated by the in-tree validator — no jq) and the report
+# renderer must accept it. Uses the logical clock so the stage is
+# deterministic across runners.
+TRACE_SMOKE=target/trace-smoke.jsonl
+run cargo run --release --offline --bin homc -- --suite intro1 --trace-logical "$TRACE_SMOKE"
+run cargo run --release --offline --bin homc -- trace-validate "$TRACE_SMOKE"
+run cargo run --release --offline --bin homc -- trace-report "$TRACE_SMOKE"
+
 # Bench smoke: regenerate Table 1 at full budget and refresh the baseline
 # JSON (per-program wall times + hot-path counters). The stage fails on any
 # verdict mismatch against the paper; wall-time drift is tracked by diffing
