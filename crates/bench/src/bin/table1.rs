@@ -41,6 +41,7 @@ fn json_str(s: &str) -> String {
 fn to_json(rows: &[Row]) -> String {
     let mut total = 0.0f64;
     let (mut smt, mut hits, mut misses, mut pops, mut rescans) = (0usize, 0u64, 0u64, 0usize, 0usize);
+    let (mut sliced, mut reuse, mut prefix) = (0usize, 0usize, 0u64);
     let mut body = String::from("{\n  \"programs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let s = &r.outcome.stats;
@@ -55,13 +56,17 @@ fn to_json(rows: &[Row]) -> String {
         misses += s.cache_misses;
         pops += s.worklist_pops;
         rescans += s.rescans_avoided;
+        sliced += s.cuts_sliced;
+        reuse += s.cert_reuse_hits;
+        prefix += s.fm_prefix_hits;
         let _ = writeln!(
             body,
             "    {{\"name\": {}, \"verdict\": {}, \"verdict_ok\": {}, \"cycles\": {}, \
              \"iterations\": {}, \"peak_hbp\": {}, \
              \"abst_s\": {:.4}, \"mc_s\": {:.4}, \"cegar_s\": {:.4}, \"total_s\": {:.4}, \
              \"smt_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"worklist_pops\": {}, \"rescans_avoided\": {}}}{}",
+             \"worklist_pops\": {}, \"rescans_avoided\": {}, \
+             \"cuts_sliced\": {}, \"cert_reuse_hits\": {}, \"fm_prefix_hits\": {}}}{}",
             json_str(r.name),
             json_str(verdict),
             r.verdict_ok,
@@ -77,6 +82,9 @@ fn to_json(rows: &[Row]) -> String {
             s.cache_misses,
             s.worklist_pops,
             s.rescans_avoided,
+            s.cuts_sliced,
+            s.cert_reuse_hits,
+            s.fm_prefix_hits,
             if i + 1 == rows.len() { "" } else { "," },
         );
     }
@@ -84,7 +92,8 @@ fn to_json(rows: &[Row]) -> String {
         body,
         "  ],\n  \"totals\": {{\"wall_s\": {total:.4}, \"smt_queries\": {smt}, \
          \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"worklist_pops\": {pops}, \
-         \"rescans_avoided\": {rescans}}}\n}}\n",
+         \"rescans_avoided\": {rescans}, \"cuts_sliced\": {sliced}, \
+         \"cert_reuse_hits\": {reuse}, \"fm_prefix_hits\": {prefix}}}\n}}\n",
     );
     body
 }

@@ -9,7 +9,11 @@
 //! * [`refine`] — feasibility checking of error paths (§5.1) and predicate
 //!   discovery by Craig interpolation over the straightline program's
 //!   acyclic constraint system, followed by abstraction-type refinement `⊔`
-//!   (§5.2.2–5.2.3).
+//!   (§5.2.2–5.2.3);
+//! * [`slice`] — cone-of-influence slicing of path conditions, the first
+//!   layer of the refinement fast path (shared-certificate sequence
+//!   interpolants over the contradiction cone, solved per independent
+//!   component — in parallel when determinism allows).
 //!
 //! The CEGAR *loop* itself (Figure 1) lives in the `homc` crate, which ties
 //! this crate to `homc-abs` (Step 1) and `homc-hbp` (Step 2).
@@ -20,12 +24,13 @@
 pub mod enumerate;
 pub mod refine;
 pub mod shp;
+pub mod slice;
 
 pub use enumerate::gen_p;
 pub use refine::{
     check_feasibility, discover_predicates, discover_predicates_budgeted,
-    discover_predicates_cached, discover_predicates_traced, refine_env, refine_env_budgeted,
-    refine_env_traced, Feasibility, RefineError, RefineOptions, Refinement,
+    discover_predicates_cached, discover_predicates_traced, fastpath_sequence, refine_env,
+    refine_env_budgeted, refine_env_traced, Feasibility, RefineError, RefineOptions, Refinement,
 };
 pub use shp::{
     build_trace, build_trace_budgeted, Activation, Event, SymVal, Trace, TraceEnd, TraceError,

@@ -30,12 +30,13 @@ use homc_abs::{AbsEnv, AbsTy, Predicate};
 use homc_budget::{Budget, BudgetError, Phase};
 use homc_lang::kernel::{FunName, Program};
 use homc_smt::{
-    interpolate_budgeted_cached, Formula, InterpError, InterpOptions, QueryCache, SatResult,
-    SmtSolver, Var,
+    interpolate_budgeted_cached, interpolate_sequence, Formula, InterpError, InterpOptions,
+    QueryCache, SatResult, SmtSolver, Var,
 };
 use homc_trace::Tracer;
 
 use crate::shp::{Event, Trace};
+use crate::slice;
 use homc_smt::LinExpr;
 
 /// Options for the refiner.
@@ -98,6 +99,12 @@ pub struct Refinement {
     /// point this refinement — the telemetry layer's proxy for interpolation
     /// difficulty.
     pub max_interp_size: usize,
+    /// Cut points whose interpolant was trivial because cone-of-influence
+    /// slicing proved no refuting component crosses them.
+    pub cuts_sliced: usize,
+    /// Cut interpolants derived from a shared Farkas certificate (sequence
+    /// interpolation) instead of an independent per-cut refutation.
+    pub cert_reuse_hits: usize,
 }
 
 /// A predicate for an argument position of a function-typed parameter.
@@ -286,62 +293,48 @@ pub fn discover_predicates_traced(
         .filter(|(_, e)| matches!(e, Event::Bind { .. } | Event::Rand { .. }))
         .map(|(i, _)| i)
         .collect();
-    let mut solved: Vec<Formula> = Vec::new();
+    // Fast path: slice the path condition into variable-connected
+    // components, screen for the contradiction cone, and read every crossed
+    // cut's interpolant off one shared Farkas certificate per refuting
+    // component (solved in parallel when determinism allows). Structural
+    // bailouts fall back to the per-cut engine below.
+    let parallel_ok = !budget.has_faults() && !tracer.is_logical();
+    let fast = if cuts.is_empty() {
+        None
+    } else {
+        fast_path(trace, &cuts, budget, cache, parallel_ok, &mut out)?
+    };
 
-    for (ci, &i) in cuts.iter().enumerate() {
-        let (sym, _deps, def_eq) = match &trace.events[i] {
-            Event::Bind {
-                sym, deps, def_eq, ..
-            } => (sym.clone(), deps.clone(), def_eq.clone()),
-            Event::Rand { sym, deps, .. } => (sym.clone(), deps.clone(), None),
-            Event::Cond(_) => unreachable!("cuts are binds"),
-        };
-        let suffix = Formula::and(trace.events[i + 1..].iter().map(Event::formula));
-        // Inductive A-side: earlier solutions + conditions since the
-        // previous cut + this cut's defining equality.
-        let since_prev = match ci {
-            0 => 0,
-            _ => cuts[ci - 1] + 1,
-        };
-        let inductive_a = Formula::and(
-            solved
-                .iter()
-                .cloned()
-                .chain(trace.events[since_prev..i].iter().map(Event::formula))
-                .chain(def_eq.clone()),
-        );
-        let raw_a = Formula::and(trace.events[..=i].iter().map(Event::formula));
-
-        // Any interpolant will do as a knowledge carrier: scoping to each
-        // target's template happens in `record_predicate`, per target (the
-        // definition's own scheme and each higher-order position have
-        // different visibility).
-        let mut solution = Formula::True;
-        for a in [inductive_a, raw_a.clone()] {
-            budget
-                .checkpoint(Phase::Interp)
-                .map_err(RefineError::Exhausted)?;
-            match interpolate_budgeted_cached(&a, &suffix, InterpOptions::default(), budget, cache)
-            {
-                Ok(interp) => {
-                    solution = interp;
-                    break;
-                }
-                Err(InterpError::Exhausted(e)) => return Err(RefineError::Exhausted(e)),
-                // Not refutable / too large: fall back to the raw prefix, or
-                // settle for the trivial solution.
-                Err(_) => {}
+    if let Some(solutions) = &fast {
+        let mut prev: Option<&Formula> = None;
+        for (ci, &i) in cuts.iter().enumerate() {
+            let solution = &solutions[ci];
+            if matches!(solution, Formula::True) {
+                prev = Some(solution);
+                continue;
             }
-        }
-        if !matches!(solution, Formula::True) {
+            // A Farkas prefix sum only changes at cuts a certificate atom
+            // crosses; in between, the family repeats the same formula. The
+            // knowledge is already installed where it first appeared —
+            // re-recording it at every intermediate scheme multiplies the
+            // predicate pool (and abstraction cost) for no refutation power,
+            // where the per-cut engine's inductive A-side yields `true`.
+            if prev == Some(solution) {
+                continue;
+            }
+            prev = Some(solution);
             let size = solution.size();
             out.max_interp_size = out.max_interp_size.max(size);
             tracer.emit("interp_cut", |e| {
                 e.num("cut", ci as u64).num("size", size as u64);
             });
+            let sym = match &trace.events[i] {
+                Event::Bind { sym, .. } | Event::Rand { sym, .. } => sym.clone(),
+                Event::Cond(_) => unreachable!("cuts are binds"),
+            };
             record_predicate(
                 &trace.events[i],
-                &solution,
+                solution,
                 &sym,
                 &orig_names,
                 &act_params,
@@ -352,7 +345,79 @@ pub fn discover_predicates_traced(
                 true,
             )?;
         }
-        solved.push(solution);
+    } else {
+        let mut solved: Vec<Formula> = Vec::new();
+        for (ci, &i) in cuts.iter().enumerate() {
+            let (sym, _deps, def_eq) = match &trace.events[i] {
+                Event::Bind {
+                    sym, deps, def_eq, ..
+                } => (sym.clone(), deps.clone(), def_eq.clone()),
+                Event::Rand { sym, deps, .. } => (sym.clone(), deps.clone(), None),
+                Event::Cond(_) => unreachable!("cuts are binds"),
+            };
+            let suffix = Formula::and(trace.events[i + 1..].iter().map(Event::formula));
+            // Inductive A-side: earlier solutions + conditions since the
+            // previous cut + this cut's defining equality.
+            let since_prev = match ci {
+                0 => 0,
+                _ => cuts[ci - 1] + 1,
+            };
+            let inductive_a = Formula::and(
+                solved
+                    .iter()
+                    .cloned()
+                    .chain(trace.events[since_prev..i].iter().map(Event::formula))
+                    .chain(def_eq.clone()),
+            );
+            let raw_a = Formula::and(trace.events[..=i].iter().map(Event::formula));
+
+            // Any interpolant will do as a knowledge carrier: scoping to each
+            // target's template happens in `record_predicate`, per target (the
+            // definition's own scheme and each higher-order position have
+            // different visibility).
+            let mut solution = Formula::True;
+            for a in [inductive_a, raw_a.clone()] {
+                budget
+                    .checkpoint(Phase::Interp)
+                    .map_err(RefineError::Exhausted)?;
+                match interpolate_budgeted_cached(
+                    &a,
+                    &suffix,
+                    InterpOptions::default(),
+                    budget,
+                    cache,
+                ) {
+                    Ok(interp) => {
+                        solution = interp;
+                        break;
+                    }
+                    Err(InterpError::Exhausted(e)) => return Err(RefineError::Exhausted(e)),
+                    // Not refutable / too large: fall back to the raw prefix,
+                    // or settle for the trivial solution.
+                    Err(_) => {}
+                }
+            }
+            if !matches!(solution, Formula::True) {
+                let size = solution.size();
+                out.max_interp_size = out.max_interp_size.max(size);
+                tracer.emit("interp_cut", |e| {
+                    e.num("cut", ci as u64).num("size", size as u64);
+                });
+                record_predicate(
+                    &trace.events[i],
+                    &solution,
+                    &sym,
+                    &orig_names,
+                    &act_params,
+                    &canon,
+                    program,
+                    trace,
+                    &mut out,
+                    true,
+                )?;
+            }
+            solved.push(solution);
+        }
     }
 
     if opts.seed_from_path {
@@ -389,6 +454,161 @@ pub fn discover_predicates_traced(
         }
     }
     Ok(out)
+}
+
+/// Part index of event `i`: cut `ci` owns events `(cuts[ci-1], cuts[ci]]`,
+/// so the A-side of cut `k` is exactly parts `0..=k`; the final part holds
+/// everything after the last cut.
+fn part_of(cuts: &[usize], i: usize) -> usize {
+    cuts.partition_point(|&c| c < i)
+}
+
+/// Groups a set of event conjuncts into per-part conjunctions (one part per
+/// cut boundary plus the final suffix part).
+fn build_parts(events: &[Event], cuts: &[usize], group: &[usize]) -> Vec<Formula> {
+    let mut parts: Vec<Vec<Formula>> = vec![Vec::new(); cuts.len() + 1];
+    for &i in group {
+        parts[part_of(cuts, i)].push(events[i].formula());
+    }
+    parts.into_iter().map(Formula::and).collect()
+}
+
+/// The refinement fast path: cone-of-influence slicing + shared-certificate
+/// sequence interpolants + parallel independent components.
+///
+/// Returns one solution per cut on success (`true`/`false` for cuts no
+/// refuting component crosses — counted as `cuts_sliced`; certificate-derived
+/// interpolants for crossed cuts — counted as `cert_reuse_hits`). `None`
+/// routes the caller to the per-cut engine: no component survives sequence
+/// interpolation, or the whole condition is outside the cube fragment.
+///
+/// Determinism: groups are solved independently and stitched back by index,
+/// so the parallel and sequential schedules produce identical refinements;
+/// callers force `parallel_ok = false` under `--trace-logical` and fault
+/// plans, where checkpoint *order* must also be reproducible.
+fn fast_path(
+    trace: &Trace,
+    cuts: &[usize],
+    budget: &Budget,
+    cache: Option<&QueryCache>,
+    parallel_ok: bool,
+    out: &mut Refinement,
+) -> Result<Option<Vec<Formula>>, RefineError> {
+    let events = &trace.events;
+    let opts = InterpOptions::default();
+    let sl = slice::components(events);
+    let verdicts = slice::screen_components(events, &sl, opts.split_depth, budget, cache)
+        .map_err(RefineError::Exhausted)?;
+    let unsat_comps: Vec<usize> = (0..sl.n_components)
+        .filter(|&c| verdicts[c] == slice::CompVerdict::Unsat)
+        .collect();
+    let sliced = !unsat_comps.is_empty();
+    // One group per refuting component; with no refuting component the whole
+    // condition forms a single group (sequence sharing still applies, the
+    // refutation just needs all components together).
+    let groups: Vec<Vec<usize>> = if sliced {
+        unsat_comps
+            .iter()
+            .map(|&c| {
+                (0..events.len())
+                    .filter(|&i| sl.comp_of[i] == Some(c))
+                    .collect()
+            })
+            .collect()
+    } else {
+        vec![(0..events.len()).filter(|&i| sl.comp_of[i].is_some()).collect()]
+    };
+    let jobs: Vec<Vec<Formula>> = groups.iter().map(|g| build_parts(events, cuts, g)).collect();
+
+    budget
+        .checkpoint(Phase::Interp)
+        .map_err(RefineError::Exhausted)?;
+    let results: Vec<Result<Vec<Formula>, InterpError>> = if parallel_ok && jobs.len() >= 2 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|parts| s.spawn(move || interpolate_sequence(parts, opts, budget, cache)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("interpolation worker panicked"))
+                .collect()
+        })
+    } else {
+        jobs.iter()
+            .map(|parts| interpolate_sequence(parts, opts, budget, cache))
+            .collect()
+    };
+
+    // Stitch by index: each surviving group contributes its cut family; a
+    // group that fails structurally is dropped (a refuting component's
+    // interpolants are valid for the full condition on their own).
+    let mut families: Vec<Vec<Formula>> = Vec::new();
+    let mut crossed = vec![false; cuts.len()];
+    for (g, res) in results.into_iter().enumerate() {
+        match res {
+            Ok(family) => {
+                let parts_touched: Vec<usize> =
+                    groups[g].iter().map(|&i| part_of(cuts, i)).collect();
+                let first = parts_touched.iter().copied().min().unwrap_or(0);
+                let last = parts_touched.iter().copied().max().unwrap_or(0);
+                for (k, cr) in crossed.iter_mut().enumerate() {
+                    *cr |= k >= first && k < last;
+                }
+                families.push(family);
+            }
+            Err(InterpError::Exhausted(e)) => return Err(RefineError::Exhausted(e)),
+            // NotRefutable / TooLarge: this group contributes nothing.
+            Err(_) => {}
+        }
+    }
+    if families.is_empty() {
+        return Ok(None);
+    }
+    if sliced {
+        out.cuts_sliced += crossed.iter().filter(|&&c| !c).count();
+    }
+    out.cert_reuse_hits += crossed.iter().filter(|&&c| c).count();
+    let solutions: Vec<Formula> = (0..cuts.len())
+        .map(|k| Formula::and(families.iter().map(|f| f[k].clone())))
+        .collect();
+    Ok(Some(solutions))
+}
+
+/// Diagnostic/test hook: runs the refinement fast path on `trace` with an
+/// unlimited budget and no cache, returning the **full** per-cut parts
+/// `φ_0, …, φ_n` of the path condition together with the per-cut solutions
+/// `I_0, …, I_{n-1}` the fast path produced. `None` when the fast path
+/// declined (the per-cut engine would run instead) or the trace has no cuts.
+///
+/// Because sliced interpolants are valid for the full condition, the
+/// returned family must satisfy the telescoping property
+/// `I_k ∧ φ_{k+1} ⇒ I_{k+1}` against the *full* parts — that is what the
+/// in-tree suite-wide telescoping test checks.
+pub fn fastpath_sequence(trace: &Trace) -> Option<(Vec<Formula>, Vec<Formula>)> {
+    let cuts: Vec<usize> = trace
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, Event::Bind { .. } | Event::Rand { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    if cuts.is_empty() {
+        return None;
+    }
+    let mut scratch = Refinement::default();
+    let solutions = fast_path(
+        trace,
+        &cuts,
+        Budget::unlimited(),
+        None,
+        false,
+        &mut scratch,
+    )
+    .ok()??;
+    let all: Vec<usize> = (0..trace.events.len()).collect();
+    let parts = build_parts(&trace.events, &cuts, &all);
+    Some((parts, solutions))
 }
 
 /// `true` iff the formula only mentions the cut's own symbol and its

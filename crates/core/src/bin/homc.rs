@@ -119,13 +119,17 @@ fn run_one(
             // partial counters are surfaced even without --stats.
             if show_stats || status == RunStatus::Unknown {
                 say(format_args!(
-                    "{:12} smt={} cache={}/{} worklist_pops={} rescans_avoided={}",
+                    "{:12} smt={} cache={}/{} worklist_pops={} rescans_avoided={} \
+                     cuts_sliced={} cert_reuse={} fm_prefix={}",
                     "",
                     out.stats.smt_queries,
                     out.stats.cache_hits,
                     out.stats.cache_misses,
                     out.stats.worklist_pops,
                     out.stats.rescans_avoided,
+                    out.stats.cuts_sliced,
+                    out.stats.cert_reuse_hits,
+                    out.stats.fm_prefix_hits,
                 ));
             }
             RunReport {
@@ -340,6 +344,9 @@ fn main() -> ExitCode {
                 totals.cache_misses += s.cache_misses;
                 totals.worklist_pops += s.worklist_pops;
                 totals.rescans_avoided += s.rescans_avoided;
+                totals.cuts_sliced += s.cuts_sliced;
+                totals.cert_reuse_hits += s.cert_reuse_hits;
+                totals.fm_prefix_hits += s.fm_prefix_hits;
             }
         }
         if !matched {
@@ -366,6 +373,10 @@ fn main() -> ExitCode {
             lookups,
             totals.worklist_pops,
             totals.rescans_avoided,
+        ));
+        say(format_args!(
+            "refinement fast path: cuts sliced {}, cert reuse {}, fm prefix hits {}",
+            totals.cuts_sliced, totals.cert_reuse_hits, totals.fm_prefix_hits,
         ));
         if failed == 0 {
             ExitCode::SUCCESS

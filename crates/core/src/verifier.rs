@@ -182,14 +182,24 @@ pub struct VerifyStats {
     pub final_hbp_size: usize,
     /// Number of full-loop restarts after a retryable budget exhaustion.
     pub retries: usize,
-    /// SMT satisfiability queries issued by predicate abstraction (before
-    /// cache lookup).
+    /// SMT queries issued across the whole run: every query-cache lookup in
+    /// any table (solver checks, interpolation cubes, cube-pair
+    /// interpolants, rational cores), so `cache_hits + cache_misses ==
+    /// smt_queries` exactly.
     pub smt_queries: usize,
-    /// Query-cache hits across the whole run (solver checks, interpolation
-    /// cubes, and cube-pair interpolants).
+    /// Query-cache hits across the whole run (all tables).
     pub cache_hits: u64,
-    /// Query-cache misses across the whole run.
+    /// Query-cache misses across the whole run (all tables).
     pub cache_misses: u64,
+    /// Refinement cut points answered trivially because no refuting
+    /// component of the sliced path condition crossed them.
+    pub cuts_sliced: usize,
+    /// Refinement cut points whose interpolant was derived from a shared
+    /// Farkas certificate (one refutation, many cuts).
+    pub cert_reuse_hits: usize,
+    /// Fourier–Motzkin eliminations skipped because the rational core of a
+    /// query was already in the certificate cache.
+    pub fm_prefix_hits: u64,
     /// Model-checker worklist pops (definitions re-searched), summed over
     /// iterations.
     pub worklist_pops: usize,
@@ -293,6 +303,13 @@ struct IterRecord {
     new_ho: usize,
     /// Largest interpolant (formula nodes) solved this iteration.
     interp_size_max: usize,
+    /// Abstraction-phase SMT queries this iteration (the trace's historical
+    /// `smt_queries` field keeps this meaning).
+    abs_queries: usize,
+    /// Cut points answered trivially by path slicing this iteration.
+    cuts_sliced: usize,
+    /// Cut points solved from a shared Farkas certificate this iteration.
+    cert_reuse_hits: usize,
 }
 
 /// Predicate count of one abstraction type (recursing into arrow chains).
@@ -416,9 +433,9 @@ pub fn verify_compiled(
             // emit the deltas.
             stats.cycles = iteration + 1;
             let iter_start = Instant::now();
-            let (smt0, hits0, misses0, fuel0) = if tracer.enabled() {
+            let (hits0, misses0, rat_hits0, fuel0) = if tracer.enabled() {
                 let cs = cache.stats();
-                (stats.smt_queries, cs.hits, cs.misses, budget.fuel_used())
+                (cs.hits(), cs.misses(), cs.rat_hits, budget.fuel_used())
             } else {
                 (0, 0, 0, 0)
             };
@@ -459,11 +476,23 @@ pub fn verify_compiled(
                         .num("new_seeded", rec.new_seeded as u64)
                         .num("new_ho", rec.new_ho as u64)
                         .num("interp_size_max", rec.interp_size_max as u64)
-                        .num("smt_queries", (stats.smt_queries - smt0) as u64)
-                        .num("cache_hits", cs.hits - hits0)
-                        .num("cache_misses", cs.misses - misses0)
+                        .num("smt_queries", rec.abs_queries as u64)
+                        .num("cache_hits", cs.hits() - hits0)
+                        .num("cache_misses", cs.misses() - misses0)
                         .num("fuel", budget.fuel_used() - fuel0)
                         .num("dur_us", tracer.dur_us(iter_start));
+                    // Fast-path counters postdate the golden traces: emit
+                    // them only when nonzero so unaffected runs stay
+                    // byte-identical.
+                    if rec.cuts_sliced > 0 {
+                        e.num("cuts_sliced", rec.cuts_sliced as u64);
+                    }
+                    if rec.cert_reuse_hits > 0 {
+                        e.num("cert_reuse_hits", rec.cert_reuse_hits as u64);
+                    }
+                    if cs.rat_hits > rat_hits0 {
+                        e.num("fm_prefix_hits", cs.rat_hits - rat_hits0);
+                    }
                 });
             }
             match outcome {
@@ -499,8 +528,10 @@ pub fn verify_compiled(
     stats.total = start.elapsed();
     stats.predicates = env.fingerprint();
     let cs = cache.stats();
-    stats.cache_hits = cs.hits;
-    stats.cache_misses = cs.misses;
+    stats.smt_queries = cs.lookups() as usize;
+    stats.cache_hits = cs.hits();
+    stats.cache_misses = cs.misses();
+    stats.fm_prefix_hits = cs.rat_hits;
     tracer.emit("verdict", |e| {
         let tag = match &verdict {
             Verdict::Safe => "safe",
@@ -563,6 +594,7 @@ fn run_iteration(
     let bp = match abs_result {
         Ok((bp, abs_stats)) => {
             stats.smt_queries += abs_stats.sat_queries;
+            rec.abs_queries = abs_stats.sat_queries;
             bp
         }
         Err(AbsError::Exhausted(e)) => return unknown(UnknownReason::Budget(e)),
@@ -669,6 +701,10 @@ fn run_iteration(
             rec.new_seeded = refinement.seeded;
             rec.new_ho = refinement.ho_updates.len();
             rec.interp_size_max = refinement.max_interp_size;
+            rec.cuts_sliced = refinement.cuts_sliced;
+            rec.cert_reuse_hits = refinement.cert_reuse_hits;
+            stats.cuts_sliced += refinement.cuts_sliced;
+            stats.cert_reuse_hits += refinement.cert_reuse_hits;
             if !changed {
                 unknown(UnknownReason::NoProgress)
             } else {

@@ -8,7 +8,7 @@
 //! point. A [`QueryCache`] collapses all of that repeated work across the
 //! *whole* verification run.
 //!
-//! Three tables, all keyed by canonical forms so syntactic permutations
+//! Four tables, all keyed by canonical forms so syntactic permutations
 //! collide:
 //!
 //! * **check** — full [`SmtSolver::check`](crate::SmtSolver::check) results,
@@ -18,19 +18,30 @@
 //!   sorted atom list plus the split depth.
 //! * **interp** — per-cube-pair Craig interpolants, keyed by both sorted
 //!   cubes plus the split depth.
+//! * **rat** — rational-relaxation verdicts of atom conjunctions (the
+//!   Fourier–Motzkin eliminations behind interpolation), keyed by the sorted
+//!   atom list. Sequence interpolation and branch & bound re-refute the same
+//!   cube prefix with one split atom appended over and over; memoizing the
+//!   shared-prefix eliminations is what the `fm_prefix_hits` counter reports.
+//!
+//! Hit/miss counters are kept **per table**, so every cached lookup counts in
+//! exactly one query category (see the counter taxonomy in `DESIGN.md`).
 //!
 //! The cache is interior-mutable (`Mutex` + atomics) so one `Arc<QueryCache>`
 //! can be shared by every solver of a run, including the per-worker solvers
-//! of parallel predicate abstraction. Budget preemptions
+//! of parallel predicate abstraction and the per-component workers of
+//! parallel cut interpolation. Budget preemptions
 //! ([`SatResult::Exhausted`](crate::SatResult::Exhausted)) are never cached:
 //! a result that depends on the clock must not masquerade as a semantic one.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::fm::FarkasCert;
 use crate::formula::{Formula, Literal};
-use crate::linexpr::Atom;
+use crate::linexpr::{Atom, Var};
+use crate::rat::Rat;
 use crate::solver::Model;
 
 /// A memoizable satisfiability verdict (no `Exhausted` variant by design).
@@ -55,19 +66,58 @@ pub enum CubeSat {
     Unknown,
 }
 
-/// Hit/miss counters of a [`QueryCache`], totalled over all three tables.
+/// A memoizable rational-relaxation verdict, stored against the *sorted*
+/// atom list. Certificate indices refer to positions in the sorted key and
+/// are remapped onto the caller's ordering on a hit (see
+/// [`rational_sat_cached`](crate::fm::rational_sat_cached)).
+#[derive(Clone, Debug)]
+pub enum CachedRat {
+    /// Satisfiable over the rationals, with a model.
+    Sat(BTreeMap<Var, Rat>),
+    /// Unsatisfiable, with a Farkas certificate over the sorted key.
+    Unsat(FarkasCert),
+}
+
+/// Per-table hit/miss counters of a [`QueryCache`].
+///
+/// Each lookup increments exactly one counter pair, so the four categories
+/// partition the run's decision-procedure queries: `check` (full formula
+/// satisfiability), `cube` (atom-conjunction tri-states), `interp`
+/// (cube-pair interpolants), and `rat` (Fourier–Motzkin eliminations).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
-    pub hits: u64,
-    /// Lookups that fell through to the solver.
-    pub misses: u64,
+    /// `check`-table lookups answered from the cache.
+    pub check_hits: u64,
+    /// `check`-table lookups that fell through to the solver.
+    pub check_misses: u64,
+    /// `cube`-table hits.
+    pub cube_hits: u64,
+    /// `cube`-table misses.
+    pub cube_misses: u64,
+    /// `interp`-table hits.
+    pub interp_hits: u64,
+    /// `interp`-table misses.
+    pub interp_misses: u64,
+    /// `rat`-table hits (reported as `fm_prefix_hits`).
+    pub rat_hits: u64,
+    /// `rat`-table misses.
+    pub rat_misses: u64,
 }
 
 impl CacheStats {
-    /// Total lookups.
+    /// Lookups answered from the cache, over all tables.
+    pub fn hits(&self) -> u64 {
+        self.check_hits + self.cube_hits + self.interp_hits + self.rat_hits
+    }
+
+    /// Lookups that fell through to the underlying procedure, over all tables.
+    pub fn misses(&self) -> u64 {
+        self.check_misses + self.cube_misses + self.interp_misses + self.rat_misses
+    }
+
+    /// Total lookups (= total decision-procedure queries of the run).
     pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
+        self.hits() + self.misses()
     }
 }
 
@@ -80,8 +130,15 @@ pub struct QueryCache {
     check: Mutex<HashMap<(Formula, u32), CachedSat>>,
     cubes: Mutex<HashMap<(Vec<Atom>, u32), CubeSat>>,
     interp: Mutex<HashMap<InterpKey, Option<Formula>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    rat: Mutex<HashMap<Vec<Atom>, CachedRat>>,
+    check_hits: AtomicU64,
+    check_misses: AtomicU64,
+    cube_hits: AtomicU64,
+    cube_misses: AtomicU64,
+    interp_hits: AtomicU64,
+    interp_misses: AtomicU64,
+    rat_hits: AtomicU64,
+    rat_misses: AtomicU64,
 }
 
 impl QueryCache {
@@ -93,32 +150,30 @@ impl QueryCache {
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            check_hits: self.check_hits.load(Ordering::Relaxed),
+            check_misses: self.check_misses.load(Ordering::Relaxed),
+            cube_hits: self.cube_hits.load(Ordering::Relaxed),
+            cube_misses: self.cube_misses.load(Ordering::Relaxed),
+            interp_hits: self.interp_hits.load(Ordering::Relaxed),
+            interp_misses: self.interp_misses.load(Ordering::Relaxed),
+            rat_hits: self.rat_hits.load(Ordering::Relaxed),
+            rat_misses: self.rat_misses.load(Ordering::Relaxed),
         }
     }
 
-    fn hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+    fn count(&self, hit_ctr: &AtomicU64, miss_ctr: &AtomicU64, hit: bool) {
+        if hit {
+            hit_ctr.fetch_add(1, Ordering::Relaxed);
+        } else {
+            miss_ctr.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Looks up a full `check` result by canonical formula and depth.
     pub fn lookup_check(&self, key: &(Formula, u32)) -> Option<CachedSat> {
         let found = self.check.lock().expect("cache poisoned").get(key).cloned();
-        match found {
-            Some(v) => {
-                self.hit();
-                Some(v)
-            }
-            None => {
-                self.miss();
-                None
-            }
-        }
+        self.count(&self.check_hits, &self.check_misses, found.is_some());
+        found
     }
 
     /// Stores a `check` result. The caller must not pass preempted results.
@@ -129,16 +184,8 @@ impl QueryCache {
     /// Looks up a cube consistency tri-state. `atoms` must be sorted.
     pub fn lookup_cube(&self, key: &(Vec<Atom>, u32)) -> Option<CubeSat> {
         let found = self.cubes.lock().expect("cache poisoned").get(key).copied();
-        match found {
-            Some(v) => {
-                self.hit();
-                Some(v)
-            }
-            None => {
-                self.miss();
-                None
-            }
-        }
+        self.count(&self.cube_hits, &self.cube_misses, found.is_some());
+        found
     }
 
     /// Stores a cube consistency tri-state.
@@ -151,21 +198,25 @@ impl QueryCache {
     #[allow(clippy::option_option)] // outer = cache presence, inner = refutability
     pub fn lookup_interp(&self, key: &InterpKey) -> Option<Option<Formula>> {
         let found = self.interp.lock().expect("cache poisoned").get(key).cloned();
-        match found {
-            Some(v) => {
-                self.hit();
-                Some(v)
-            }
-            None => {
-                self.miss();
-                None
-            }
-        }
+        self.count(&self.interp_hits, &self.interp_misses, found.is_some());
+        found
     }
 
     /// Stores a cube-pair interpolant (or its definite absence).
     pub fn store_interp(&self, key: InterpKey, value: Option<Formula>) {
         self.interp.lock().expect("cache poisoned").insert(key, value);
+    }
+
+    /// Looks up a rational-relaxation verdict. `key` must be sorted.
+    pub fn lookup_rat(&self, key: &[Atom]) -> Option<CachedRat> {
+        let found = self.rat.lock().expect("cache poisoned").get(key).cloned();
+        self.count(&self.rat_hits, &self.rat_misses, found.is_some());
+        found
+    }
+
+    /// Stores a rational-relaxation verdict against its sorted key.
+    pub fn store_rat(&self, key: Vec<Atom>, value: CachedRat) {
+        self.rat.lock().expect("cache poisoned").insert(key, value);
     }
 }
 
@@ -182,8 +233,27 @@ mod tests {
         c.store_check(key.clone(), CachedSat::Unsat);
         assert!(matches!(c.lookup_check(&key), Some(CachedSat::Unsat)));
         let s = c.stats();
-        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!((s.check_hits, s.check_misses), (1, 1));
+        assert_eq!((s.hits(), s.misses()), (1, 1));
         assert_eq!(s.lookups(), 2);
+    }
+
+    #[test]
+    fn tables_count_separately() {
+        let c = QueryCache::new();
+        let cube_key = (vec![Atom::le0(LinExpr::var("x"))], 24u32);
+        assert!(c.lookup_cube(&cube_key).is_none());
+        c.store_cube(cube_key.clone(), CubeSat::Sat);
+        assert_eq!(c.lookup_cube(&cube_key), Some(CubeSat::Sat));
+        let rat_key = vec![Atom::le0(LinExpr::var("y"))];
+        assert!(c.lookup_rat(&rat_key).is_none());
+        c.store_rat(rat_key.clone(), CachedRat::Unsat(Vec::new()));
+        assert!(matches!(c.lookup_rat(&rat_key), Some(CachedRat::Unsat(_))));
+        let s = c.stats();
+        assert_eq!((s.cube_hits, s.cube_misses), (1, 1));
+        assert_eq!((s.rat_hits, s.rat_misses), (1, 1));
+        assert_eq!((s.check_hits, s.check_misses), (0, 0));
+        assert_eq!(s.lookups(), 4);
     }
 
     #[test]

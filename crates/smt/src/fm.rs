@@ -7,6 +7,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::cache::{CachedRat, QueryCache};
 use crate::linexpr::{Atom, Rel, Var};
 use crate::rat::Rat;
 
@@ -318,6 +319,49 @@ pub fn rational_sat(atoms: &[Atom]) -> RatResult {
     RatResult::Sat(model)
 }
 
+/// [`rational_sat`] memoized in a shared [`QueryCache`].
+///
+/// The table key is the *sorted* atom list, so syntactic permutations of one
+/// conjunction collide. The callers that profit are the ones that re-refute
+/// a shared cube prefix with a handful of extra atoms appended — sequence
+/// interpolation's integer-split recursion and the per-cut fallback path —
+/// which is why the table's hits surface as the `fm_prefix_hits` counter.
+///
+/// Stored Farkas certificates index into the sorted key; on a hit they are
+/// remapped onto the caller's ordering through the sort bijection, so the
+/// result is indistinguishable from a fresh [`rational_sat`] call (models
+/// are index-free and replay as-is).
+pub fn rational_sat_cached(atoms: &[Atom], cache: Option<&QueryCache>) -> RatResult {
+    let Some(cache) = cache else {
+        return rational_sat(atoms);
+    };
+    // A stable bijection caller-order ↔ sorted-order: `key[k] = atoms[order[k]]`.
+    let mut order: Vec<usize> = (0..atoms.len()).collect();
+    order.sort_by(|&i, &j| atoms[i].cmp(&atoms[j]).then(i.cmp(&j)));
+    let key: Vec<Atom> = order.iter().map(|&i| atoms[i].clone()).collect();
+    if let Some(hit) = cache.lookup_rat(&key) {
+        return match hit {
+            CachedRat::Sat(model) => RatResult::Sat(model),
+            CachedRat::Unsat(cert) => {
+                RatResult::Unsat(cert.into_iter().map(|(k, l)| (order[k], l)).collect())
+            }
+        };
+    }
+    let result = rational_sat(atoms);
+    let stored = match &result {
+        RatResult::Sat(model) => CachedRat::Sat(model.clone()),
+        RatResult::Unsat(cert) => {
+            let mut pos_of = vec![0usize; atoms.len()];
+            for (k, &i) in order.iter().enumerate() {
+                pos_of[i] = k;
+            }
+            CachedRat::Unsat(cert.iter().map(|&(i, l)| (pos_of[i], l)).collect())
+        }
+    };
+    cache.store_rat(key, stored);
+    result
+}
+
 /// A gcd-based integer infeasibility test for equality atoms: `Σ cᵢxᵢ = -k`
 /// has no integer solution when `gcd(c̃) ∤ k`.
 fn gcd_cut_unsat(atoms: &[Atom]) -> bool {
@@ -482,6 +526,27 @@ mod tests {
             }
             other => panic!("expected Sat, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cached_rational_certificates_remap_to_caller_order() {
+        // The same unsat pair in both orders: the second call hits the
+        // sorted-key table and its certificate must still check against the
+        // caller's (reversed) atom list.
+        let cache = QueryCache::new();
+        let atoms1 = vec![
+            Atom::gt(x(), LinExpr::constant(0)),
+            Atom::le(x() + LinExpr::constant(1), LinExpr::constant(0)),
+        ];
+        let atoms2: Vec<Atom> = atoms1.iter().rev().cloned().collect();
+        for atoms in [&atoms1, &atoms2] {
+            match rational_sat_cached(atoms, Some(&cache)) {
+                RatResult::Unsat(cert) => assert!(check_certificate(atoms, &cert)),
+                other => panic!("expected Unsat, got {other:?}"),
+            }
+        }
+        let s = cache.stats();
+        assert_eq!((s.rat_hits, s.rat_misses), (1, 1));
     }
 
     #[test]

@@ -46,13 +46,17 @@ mod linexpr;
 mod rat;
 mod solver;
 
-pub use cache::{CacheStats, CachedSat, CubeSat, QueryCache};
-pub use fm::{check_certificate, int_sat, rational_sat, FarkasCert, IntResult, RatResult};
+pub use cache::{CacheStats, CachedRat, CachedSat, CubeSat, QueryCache};
+pub use fm::{
+    check_certificate, int_sat, rational_sat, rational_sat_cached, FarkasCert, IntResult,
+    RatResult,
+};
 pub use formula::{Formula, Literal};
 pub use homc_budget::{Budget, BudgetError, FaultKind, FaultPlan, LimitKind, Phase};
 pub use interp::{
-    interpolate, interpolate_budgeted, interpolate_budgeted_cached, interpolate_with,
-    is_interpolant, InterpError, InterpOptions,
+    cube_consistency, cube_literals, interpolate, interpolate_budgeted,
+    interpolate_budgeted_cached, interpolate_sequence, interpolate_with, is_interpolant,
+    InterpError, InterpOptions,
 };
 pub use linexpr::{Atom, LinExpr, Rel, Var};
 pub use rat::{gcd, Rat};

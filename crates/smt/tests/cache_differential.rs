@@ -118,7 +118,7 @@ fn cached_solver_agrees_with_uncached_on_random_formulas() {
     }
     let after_first = cache.stats();
     assert!(
-        after_first.misses > 0,
+        after_first.misses() > 0,
         "the first pass must populate the cache: {after_first:?}"
     );
 
@@ -134,7 +134,7 @@ fn cached_solver_agrees_with_uncached_on_random_formulas() {
     }
     let after_second = cache.stats();
     assert!(
-        after_second.hits >= after_first.hits + 900,
+        after_second.hits() >= after_first.hits() + 900,
         "permuted formulas must hit the canonical cache: {after_second:?}"
     );
 }

@@ -39,10 +39,22 @@ run cargo run --release --offline --bin homc -- --suite intro1 --trace-logical "
 run cargo run --release --offline --bin homc -- trace-validate "$TRACE_SMOKE"
 run cargo run --release --offline --bin homc -- trace-report "$TRACE_SMOKE"
 
-# Bench smoke: regenerate Table 1 at full budget and refresh the baseline
-# JSON (per-program wall times + hot-path counters). The stage fails on any
-# verdict mismatch against the paper; wall-time drift is tracked by diffing
-# BENCH_table1.json in review, not gated here (CI machines vary).
-run cargo run --release --offline -p homc-bench --bin table1 -- --json BENCH_table1.json
+# Bench smoke: run Table 1 at full budget to a scratch file first and gate
+# total wall time against the checked-in baseline — a regression of more
+# than 25% on totals.wall_s fails the stage *before* the baseline is
+# refreshed, so a slow build cannot silently rewrite its own yardstick.
+# The run itself still fails on any verdict mismatch against the paper.
+BENCH_SCRATCH=target/bench-table1.json
+run cargo run --release --offline -p homc-bench --bin table1 -- --json "$BENCH_SCRATCH"
+if [ -f BENCH_table1.json ]; then
+    base=$(grep -o '"wall_s": *[0-9.]*' BENCH_table1.json | tail -1 | grep -o '[0-9.]*$')
+    new=$(grep -o '"wall_s": *[0-9.]*' "$BENCH_SCRATCH" | tail -1 | grep -o '[0-9.]*$')
+    echo "==> bench guard: totals.wall_s baseline=${base}s new=${new}s (limit 1.25x)"
+    if awk -v b="$base" -v n="$new" 'BEGIN { exit !(n > 1.25 * b) }'; then
+        echo "tier1: FAIL — Table 1 wall time regressed more than 25%" >&2
+        exit 1
+    fi
+fi
+cp "$BENCH_SCRATCH" BENCH_table1.json
 
 echo "tier1: OK"
