@@ -36,6 +36,7 @@ use std::sync::Arc;
 
 use homc_budget::{Budget, BudgetError, Phase};
 use homc_hbp::{BDef, BExpr, BProgram, BVal, BoolExpr};
+use homc_metrics::{Counter, Hist, Metrics};
 use homc_trace::Tracer;
 use homc_lang::kernel::{Const, Def, Expr, FunName, Op, Program, Value};
 use homc_lang::types::SimpleTy;
@@ -170,6 +171,24 @@ pub fn abstract_program_traced(
     cache: Option<Arc<QueryCache>>,
     tracer: &Tracer,
 ) -> Result<(BProgram, AbsStats), AbsError> {
+    abstract_program_metered(program, env, opts, budget, cache, tracer, &Metrics::disabled())
+}
+
+/// [`abstract_program_traced`] with a metrics registry: each definition task
+/// bumps [`Counter::AbsDefs`] and records its latency in [`Hist::AbsDefUs`];
+/// its internal entailment queries land in the solver-level SMT counters.
+/// Like the tracer, the registry is shared across worker threads and is
+/// purely observational — it never alters the schedule or the output.
+#[allow(clippy::too_many_arguments)]
+pub fn abstract_program_metered(
+    program: &Program,
+    env: &AbsEnv,
+    opts: &AbsOptions,
+    budget: Option<Arc<Budget>>,
+    cache: Option<Arc<QueryCache>>,
+    tracer: &Tracer,
+    metrics: &Metrics,
+) -> Result<(BProgram, AbsStats), AbsError> {
     let n = program.defs.len();
     let threads = opts.threads.clamp(1, n.max(1));
     let sequential =
@@ -179,9 +198,12 @@ pub fn abstract_program_traced(
         let started = std::time::Instant::now();
         let mut a =
             Abstractor::new(program, env, opts, budget.clone(), cache.clone(), ns)
-                .with_tracer(tracer.clone());
+                .with_tracer(tracer.clone())
+                .with_metrics(metrics.clone());
         let def = a.abstract_def(d)?;
         a.out.push(def);
+        metrics.incr(Counter::AbsDefs);
+        metrics.observe_dur(Hist::AbsDefUs, started);
         tracer.emit("abs_def", |e| {
             e.str("def", &d.name.0);
             e.num("queries", a.stats.sat_queries as u64);
@@ -243,8 +265,9 @@ pub fn abstract_program_traced(
 
     // The entry wrapper reads the final environment of `main`; it runs after
     // the fan-out, in its own name namespace.
-    let mut a =
-        Abstractor::new(program, env, opts, budget, cache, n).with_tracer(tracer.clone());
+    let mut a = Abstractor::new(program, env, opts, budget, cache, n)
+        .with_tracer(tracer.clone())
+        .with_metrics(metrics.clone());
     let entry = a.build_entry()?;
     stats.sat_queries += a.stats.sat_queries;
     stats.coercions += a.stats.coercions;
@@ -324,6 +347,13 @@ impl<'a> Abstractor<'a> {
     /// entailment becomes an `smt` event).
     fn with_tracer(mut self, tracer: Tracer) -> Abstractor<'a> {
         self.solver.set_tracer(tracer);
+        self
+    }
+
+    /// Routes this task's SMT queries to the metrics registry (solve counts
+    /// and latency histograms).
+    fn with_metrics(mut self, metrics: Metrics) -> Abstractor<'a> {
+        self.solver.set_metrics(metrics);
         self
     }
 

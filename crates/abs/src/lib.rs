@@ -39,6 +39,6 @@ pub mod types;
 
 pub use abstract_prog::{
     abstract_program, abstract_program_budgeted, abstract_program_cached,
-    abstract_program_traced, AbsError, AbsOptions, AbsStats,
+    abstract_program_metered, abstract_program_traced, AbsError, AbsOptions, AbsStats,
 };
 pub use types::{AbsEnv, AbsTy, Predicate};

@@ -5,17 +5,29 @@
 //! ```
 //!
 //! With `--json <path>` the run also writes a machine-readable baseline:
-//! one object per program (wall time, per-phase times, cycles, and the
-//! hot-path effort counters) plus suite-level aggregates. CI's bench-smoke
-//! stage uses it to track wall-time regressions against the checked-in
-//! `BENCH_table1.json`.
+//! a `meta` header (schema version, suite name, thread count, clock mode —
+//! `homc bench-diff` refuses to compare baselines whose strict meta fields
+//! disagree), then one object per program (wall time, per-phase times,
+//! cycles, the hot-path effort counters, and per-phase peak heap bytes)
+//! plus suite-level aggregates. CI's bench-smoke stage gates on it with
+//! `homc bench-diff BENCH_table1.json <fresh> --gate`.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use homc::suite::SUITE;
-use homc::Verdict;
+use homc::{Verdict, VerifierOptions};
 use homc_bench::{format_row, run_program, Row};
+
+// Count allocations for the whole benchmark run so each row can report its
+// per-phase heap watermarks. Installed in the binary only — library users
+// and the test harness keep the plain system allocator.
+#[global_allocator]
+static COUNTING_ALLOC: homc_metrics::mem::CountingAlloc = homc_metrics::mem::CountingAlloc::new();
+
+/// The baseline document's schema version. `bench-diff` refuses to compare
+/// documents whose schema (or suite, or clock mode) disagrees.
+const SCHEMA: u64 = 2;
 
 /// Escapes a string for a JSON string literal (the names and verdicts here
 /// are ASCII identifiers, but quoting defensively costs nothing).
@@ -42,7 +54,16 @@ fn to_json(rows: &[Row]) -> String {
     let mut total = 0.0f64;
     let (mut smt, mut hits, mut misses, mut pops, mut rescans) = (0usize, 0u64, 0u64, 0usize, 0usize);
     let (mut sliced, mut reuse, mut prefix) = (0usize, 0usize, 0u64);
-    let mut body = String::from("{\n  \"programs\": [\n");
+    let mut peak = 0u64;
+    let mut body = String::from("{\n");
+    let _ = writeln!(
+        body,
+        "  \"meta\": {{\"schema\": {SCHEMA}, \"suite\": \"table1\", \"programs\": {}, \
+         \"threads\": {}, \"clock\": \"wall\"}},",
+        rows.len(),
+        VerifierOptions::default().abs.threads,
+    );
+    body.push_str("  \"programs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let s = &r.outcome.stats;
         let verdict = match &r.outcome.verdict {
@@ -59,6 +80,7 @@ fn to_json(rows: &[Row]) -> String {
         sliced += s.cuts_sliced;
         reuse += s.cert_reuse_hits;
         prefix += s.fm_prefix_hits;
+        peak = peak.max(s.peak_bytes);
         let _ = writeln!(
             body,
             "    {{\"name\": {}, \"verdict\": {}, \"verdict_ok\": {}, \"cycles\": {}, \
@@ -66,7 +88,9 @@ fn to_json(rows: &[Row]) -> String {
              \"abst_s\": {:.4}, \"mc_s\": {:.4}, \"cegar_s\": {:.4}, \"total_s\": {:.4}, \
              \"smt_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"worklist_pops\": {}, \"rescans_avoided\": {}, \
-             \"cuts_sliced\": {}, \"cert_reuse_hits\": {}, \"fm_prefix_hits\": {}}}{}",
+             \"cuts_sliced\": {}, \"cert_reuse_hits\": {}, \"fm_prefix_hits\": {}, \
+             \"peak_bytes\": {}, \"peak_abs_bytes\": {}, \"peak_mc_bytes\": {}, \
+             \"peak_feas_bytes\": {}, \"peak_interp_bytes\": {}}}{}",
             json_str(r.name),
             json_str(verdict),
             r.verdict_ok,
@@ -85,6 +109,11 @@ fn to_json(rows: &[Row]) -> String {
             s.cuts_sliced,
             s.cert_reuse_hits,
             s.fm_prefix_hits,
+            s.peak_bytes,
+            s.peak_abs_bytes,
+            s.peak_mc_bytes,
+            s.peak_feas_bytes,
+            s.peak_interp_bytes,
             if i + 1 == rows.len() { "" } else { "," },
         );
     }
@@ -93,7 +122,8 @@ fn to_json(rows: &[Row]) -> String {
         "  ],\n  \"totals\": {{\"wall_s\": {total:.4}, \"smt_queries\": {smt}, \
          \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"worklist_pops\": {pops}, \
          \"rescans_avoided\": {rescans}, \"cuts_sliced\": {sliced}, \
-         \"cert_reuse_hits\": {reuse}, \"fm_prefix_hits\": {prefix}}}\n}}\n",
+         \"cert_reuse_hits\": {reuse}, \"fm_prefix_hits\": {prefix}, \
+         \"peak_bytes\": {peak}}}\n}}\n",
     );
     body
 }

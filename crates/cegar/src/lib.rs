@@ -29,7 +29,8 @@ pub mod slice;
 pub use enumerate::gen_p;
 pub use refine::{
     check_feasibility, discover_predicates, discover_predicates_budgeted,
-    discover_predicates_cached, discover_predicates_traced, fastpath_sequence, refine_env,
+    discover_predicates_cached, discover_predicates_metered, discover_predicates_traced,
+    fastpath_sequence, refine_env,
     refine_env_budgeted, refine_env_traced, Feasibility, RefineError, RefineOptions, Refinement,
 };
 pub use shp::{

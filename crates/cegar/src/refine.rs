@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 use homc_abs::{AbsEnv, AbsTy, Predicate};
 use homc_budget::{Budget, BudgetError, Phase};
 use homc_lang::kernel::{FunName, Program};
+use homc_metrics::{Counter, Hist, Metrics};
 use homc_smt::{
     interpolate_budgeted_cached, interpolate_sequence, Formula, InterpError, InterpOptions,
     QueryCache, SatResult, SmtSolver, Var,
@@ -225,6 +226,23 @@ pub fn discover_predicates_traced(
     cache: Option<&QueryCache>,
     tracer: &Tracer,
 ) -> Result<Refinement, RefineError> {
+    discover_predicates_metered(program, trace, opts, budget, cache, tracer, &Metrics::disabled())
+}
+
+/// [`discover_predicates_traced`] with a metrics registry: every solved
+/// non-trivial cut bumps [`Counter::InterpCuts`] and records the
+/// interpolant's formula size in [`Hist::InterpSize`]. With a disabled
+/// registry this is exactly `discover_predicates_traced`.
+#[allow(clippy::too_many_arguments)]
+pub fn discover_predicates_metered(
+    program: &Program,
+    trace: &Trace,
+    opts: &RefineOptions,
+    budget: &Budget,
+    cache: Option<&QueryCache>,
+    tracer: &Tracer,
+    metrics: &Metrics,
+) -> Result<Refinement, RefineError> {
     let mut out = Refinement::default();
     // sym → original-name maps and (sym, index) lists, per activation.
     let mut orig_names: Vec<BTreeMap<Var, Var>> = vec![BTreeMap::new(); trace.activations.len()];
@@ -325,6 +343,8 @@ pub fn discover_predicates_traced(
             prev = Some(solution);
             let size = solution.size();
             out.max_interp_size = out.max_interp_size.max(size);
+            metrics.incr(Counter::InterpCuts);
+            metrics.observe(Hist::InterpSize, size as u64);
             tracer.emit("interp_cut", |e| {
                 e.num("cut", ci as u64).num("size", size as u64);
             });
@@ -400,6 +420,8 @@ pub fn discover_predicates_traced(
             if !matches!(solution, Formula::True) {
                 let size = solution.size();
                 out.max_interp_size = out.max_interp_size.max(size);
+                metrics.incr(Counter::InterpCuts);
+                metrics.observe(Hist::InterpSize, size as u64);
                 tracer.emit("interp_cut", |e| {
                     e.num("cut", ci as u64).num("size", size as u64);
                 });
@@ -930,7 +952,15 @@ pub fn refine_env_traced(
     // Interpolation shares the solver's query cache (if it carries one), so
     // cube work survives across refinement iterations.
     let cache = solver.cache().map(std::sync::Arc::as_ref);
-    let refinement = discover_predicates_traced(program, trace, opts, budget, cache, tracer)?;
+    let refinement = discover_predicates_metered(
+        program,
+        trace,
+        opts,
+        budget,
+        cache,
+        tracer,
+        solver.metrics(),
+    )?;
     let mut changed = env.refine(&refinement.fun_updates, &refinement.rand_updates);
     for u in &refinement.ho_updates {
         changed |= env.apply_ho_update(&u.def, &u.param, u.chain_pos, &u.pred);

@@ -3,8 +3,17 @@
 //! ```text
 //! homc [options] <file.ml>       verify a source file
 //! homc [options] --suite [name]  run the paper's Table 1 suite (or one program)
+//! homc profile (<file.ml> | --suite [name]) [-o <out.folded>]
+//!                                   self-profile: verify under a wall-clock
+//!                                   tracer, fold the spans into
+//!                                   flamegraph.pl-compatible stacks
 //! homc trace-report <file.jsonl>    render a trace as a per-iteration timeline
 //! homc trace-validate <file.jsonl>  check every line against the event schema
+//! homc trace-diff <old.jsonl> <new.jsonl> [--threshold n=r[:s]]... [--gate]
+//! homc bench-diff <old.json> <new.json>   [--threshold n=r[:s]]... [--gate]
+//!                                   compare two runs; exit 1 on a threshold
+//!                                   breach, 2 on a verdict flip, 3 when the
+//!                                   inputs are incomparable
 //!
 //! options:
 //!   --timeout <secs>      per-program wall-clock deadline (fractions allowed)
@@ -12,7 +21,8 @@
 //!                         phase (abs|mc|feas|interp|smt); kind is error|panic
 //!   --stats               print per-program effort counters (SMT queries,
 //!                         query-cache hits/misses, worklist pops, rescans
-//!                         avoided) under each report line
+//!                         avoided), peak heap bytes per phase, and the
+//!                         metrics registry's histograms under each line
 //!   --trace <file.jsonl>  write one JSON event per line: phase spans, one
 //!                         record per CEGAR iteration, SMT solves, faults
 //!   --trace-logical <file.jsonl>  same, under a logical clock (sequence
@@ -30,9 +40,17 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use homc::{
-    render_report, suite, validate_trace, verify, Expected, Fault, FaultPlan, Tracer, Verdict,
+    bench_diff, fold_trace, parse_threshold, render_report, suite, trace_diff, validate_folded,
+    validate_trace, verify, DiffOptions, Expected, Fault, FaultPlan, Metrics, Tracer, Verdict,
     VerifierOptions, VerifyStats,
 };
+
+// The binary (not the library) installs the counting allocator: tests and
+// downstream crates see a plain [`std::alloc::System`], so their golden
+// traces never grow `peak_bytes` fields, while `homc` runs report real
+// per-phase heap watermarks.
+#[global_allocator]
+static COUNTING_ALLOC: homc_metrics::mem::CountingAlloc = homc_metrics::mem::CountingAlloc::new();
 
 fn fmt_d(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
@@ -80,6 +98,9 @@ fn run_one(
             if tracer.is_logical() { "logical" } else { "wall" },
         );
     });
+    // The registry accumulates across the suite; the per-program report is
+    // the delta against this pre-run snapshot.
+    let metrics_before = opts.metrics.enabled().then(|| opts.metrics.snapshot());
     let t = Instant::now();
     let result = verify(source, opts);
     let wall = t.elapsed();
@@ -132,6 +153,26 @@ fn run_one(
                     out.stats.fm_prefix_hits,
                 ));
             }
+            if show_stats && out.stats.peak_bytes > 0 {
+                say(format_args!(
+                    "{:12} peak_bytes={} (abs={} mc={} feas={} interp={})",
+                    "",
+                    out.stats.peak_bytes,
+                    out.stats.peak_abs_bytes,
+                    out.stats.peak_mc_bytes,
+                    out.stats.peak_feas_bytes,
+                    out.stats.peak_interp_bytes,
+                ));
+            }
+            if show_stats {
+                if let Some(before) = &metrics_before {
+                    let delta = opts.metrics.snapshot().delta(before);
+                    let rendered = delta.render("             ");
+                    if !rendered.is_empty() {
+                        say(format_args!("{}", rendered.trim_end()));
+                    }
+                }
+            }
             RunReport {
                 status,
                 wall,
@@ -172,8 +213,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] [--stats] \
          [--trace <out.jsonl> | --trace-logical <out.jsonl>] (<file.ml> | --suite [program])\n\
+         \x20      homc profile (<file.ml> | --suite [program]) [-o <out.folded>]\n\
          \x20      homc trace-report <file.jsonl>\n\
-         \x20      homc trace-validate <file.jsonl>"
+         \x20      homc trace-validate <file.jsonl>\n\
+         \x20      homc trace-diff <old.jsonl> <new.jsonl> [--threshold <n=r[:s]>]... [--gate]\n\
+         \x20      homc bench-diff <old.json> <new.json> [--threshold <n=r[:s]>]... [--gate]"
     );
     ExitCode::FAILURE
 }
@@ -272,6 +316,172 @@ fn cmd_trace_report(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `homc trace-diff` / `homc bench-diff`: compare two runs, exit by
+/// severity (0 clean, 1 threshold breach, 2 verdict flip, 3 incomparable).
+fn cmd_diff(kind: &str, args: &[String]) -> ExitCode {
+    let mut opts = DiffOptions::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--gate" => {
+                opts.gate = true;
+                i += 1;
+            }
+            "--threshold" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("homc: --threshold needs a value");
+                    return usage();
+                };
+                match parse_threshold(v) {
+                    Ok(rule) => opts.thresholds.push(rule),
+                    Err(e) => {
+                        eprintln!("homc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("homc: unknown {kind} flag {flag}");
+                return usage();
+            }
+            other => {
+                paths.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("homc: {kind} needs exactly two input files");
+        return usage();
+    };
+    let read = |p: &String| match std::fs::read_to_string(p) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("homc: cannot read {p}: {e}");
+            None
+        }
+    };
+    let (Some(old), Some(new)) = (read(old_path), read(new_path)) else {
+        return ExitCode::from(3);
+    };
+    let report = match kind {
+        "trace-diff" => trace_diff(&old, &new, &opts),
+        _ => bench_diff(&old, &new, &opts),
+    };
+    if let Some(why) = &report.incompatible {
+        eprintln!("homc: {kind}: {why}");
+    }
+    let text = report.text.trim_end();
+    if !text.is_empty() {
+        say(format_args!("{text}"));
+    }
+    ExitCode::from(report.exit_code())
+}
+
+/// `homc profile`: verify under an in-memory wall-clock tracer, fold the
+/// span events into flamegraph-compatible stacks, and verify telescoping.
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut suite_mode = false;
+    let mut target: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("homc: -o needs a path");
+                    return usage();
+                };
+                out_path = Some(v.clone());
+                i += 2;
+            }
+            "--suite" => {
+                suite_mode = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("homc: unknown profile flag {flag}");
+                return usage();
+            }
+            other => {
+                if target.is_some() {
+                    eprintln!("homc: unexpected extra argument {other:?}");
+                    return usage();
+                }
+                target = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    // Wall clock (the profiler needs real durations), one abstraction
+    // thread (clean span nesting), events buffered in memory.
+    let tracer = Tracer::memory(false);
+    let mut opts = VerifierOptions {
+        tracer: tracer.clone(),
+        ..VerifierOptions::default()
+    };
+    opts.abs.threads = 1;
+    if suite_mode {
+        let filter = target;
+        let mut matched = false;
+        for p in suite::SUITE {
+            if let Some(f) = &filter {
+                if p.name != f {
+                    continue;
+                }
+            }
+            matched = true;
+            run_one(p.name, p.source, Some(p.expected), &opts, false);
+        }
+        if !matched {
+            eprintln!(
+                "homc: no suite program named {:?}",
+                filter.as_deref().unwrap_or("")
+            );
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let Some(path) = target else {
+            return usage();
+        };
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("homc: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if run_one(&path, &src, None, &opts, false).status == RunStatus::Failed {
+            return ExitCode::FAILURE;
+        }
+    }
+    let trace_text = tracer.snapshot().unwrap_or_default();
+    let profile = fold_trace(&trace_text);
+    say(format_args!("{}", profile.render_tree().trim_end()));
+    if let Err(e) = profile.check_telescoping() {
+        eprintln!("homc: profile: {e}");
+        return ExitCode::FAILURE;
+    }
+    let folded = profile.folded();
+    if let Err(e) = validate_folded(&folded) {
+        eprintln!("homc: profile: malformed folded output: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(out) = out_path {
+        if let Err(e) = std::fs::write(&out, &folded) {
+            eprintln!("homc: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        say(format_args!(
+            "wrote {} folded stack(s) to {out}",
+            folded.lines().count()
+        ));
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -289,6 +499,12 @@ fn main() -> ExitCode {
                 return usage();
             };
             return cmd_trace_report(path);
+        }
+        kind @ ("trace-diff" | "bench-diff") => {
+            return cmd_diff(kind, &args[1..]);
+        }
+        "profile" => {
+            return cmd_profile(&args[1..]);
         }
         _ => {}
     }
@@ -310,11 +526,19 @@ fn main() -> ExitCode {
         },
     };
     // The budget (deadline + fault plan) is per program: each run_one call
-    // builds a fresh Budget from these options.
+    // builds a fresh Budget from these options. The metrics registry only
+    // exists when --stats will render it; under a logical tracer it zeroes
+    // durations so the run stays reproducible.
+    let metrics = if cli.stats {
+        Metrics::new(tracer.is_logical())
+    } else {
+        Metrics::disabled()
+    };
     let opts = VerifierOptions {
         timeout: cli.timeout,
         faults: cli.faults.clone(),
         tracer: tracer.clone(),
+        metrics,
         ..VerifierOptions::default()
     };
 

@@ -49,6 +49,11 @@ pub mod verifier;
 pub use homc_budget::{
     Budget, BudgetError, Fault, FaultKind, FaultPlan, FaultSpecError, LimitKind, Phase,
 };
+pub use homc_metrics::{
+    diff::{bench_diff, parse_threshold, trace_diff, DiffOptions, DiffReport, Threshold},
+    profile::{fold_trace, validate_folded, Profile},
+    Counter, Hist, Metrics, Snapshot,
+};
 pub use homc_trace::{
     parse_json, render_report, stable_hash64, validate_line, validate_trace, JsonValue,
     SchemaError, Tracer,

@@ -28,7 +28,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
-use homc_abs::{abstract_program_traced, AbsEnv, AbsError, AbsOptions, AbsTy};
+use homc_abs::{abstract_program_metered, AbsEnv, AbsError, AbsOptions, AbsTy};
 use homc_cegar::{
     build_trace_budgeted, refine_env_traced, Feasibility, RefineError, RefineOptions, TraceEnd,
     TraceError,
@@ -37,7 +37,8 @@ use homc_hbp::check::{CheckError, CheckLimits, Checker};
 use homc_hbp::{find_error_path, source_labels};
 use homc_lang::eval::Label;
 use homc_lang::{frontend, Compiled};
-use homc_smt::{Budget, BudgetError, FaultPlan, LimitKind, QueryCache, SmtSolver};
+use homc_metrics::{mem, Hist, Metrics};
+use homc_smt::{Budget, BudgetError, FaultPlan, LimitKind, Phase, QueryCache, SmtSolver};
 use homc_trace::Tracer;
 
 /// Options controlling the verifier.
@@ -66,6 +67,13 @@ pub struct VerifierOptions {
     /// (`threads = 1`) so the event stream is byte-deterministic — output
     /// is identical at every thread count, so this cannot change verdicts.
     pub tracer: Tracer,
+    /// Metrics registry. The default ([`Metrics::disabled`]) is a no-op
+    /// handle, like the tracer. When enabled, the pipeline records typed
+    /// counters and latency/size histograms (SMT solves, abstraction
+    /// definitions, interpolant sizes, worklist depths, iteration times);
+    /// the registry never writes into the trace stream, so traces are
+    /// byte-identical with metrics on or off.
+    pub metrics: Metrics,
 }
 
 impl Default for VerifierOptions {
@@ -80,6 +88,7 @@ impl Default for VerifierOptions {
             fuel: None,
             faults: FaultPlan::none(),
             tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         }
     }
 }
@@ -206,6 +215,18 @@ pub struct VerifyStats {
     /// Definition re-scans the worklist avoided versus a round-based sweep,
     /// summed over iterations.
     pub rescans_avoided: usize,
+    /// Peak live heap bytes over the run. All `peak_*` fields read the
+    /// process's counting allocator and are 0 when none is installed (the
+    /// `homc` and `table1` binaries install it; the test harness does not).
+    pub peak_bytes: u64,
+    /// Peak live heap bytes observed while the abstraction phase allocated.
+    pub peak_abs_bytes: u64,
+    /// Peak live heap bytes observed while the model checker allocated.
+    pub peak_mc_bytes: u64,
+    /// Peak live heap bytes observed while feasibility replay allocated.
+    pub peak_feas_bytes: u64,
+    /// Peak live heap bytes observed while interpolation allocated.
+    pub peak_interp_bytes: u64,
 }
 
 /// The result of a verification run.
@@ -408,9 +429,15 @@ pub fn verify_compiled(
     // parallel abstraction workers) and never reset between iterations.
     let cache = Arc::new(QueryCache::new());
     let tracer = opts.tracer.clone();
+    let metrics = opts.metrics.clone();
+    // The memory-accounting windows are per run: the global and per-phase
+    // watermarks restart from the current live count (all zero when no
+    // counting allocator is installed).
+    mem::reset_run();
     let solver = SmtSolver::with_budget(budget.clone())
         .with_cache(cache.clone())
-        .with_tracer(tracer.clone());
+        .with_tracer(tracer.clone())
+        .with_metrics(metrics.clone());
     let mut env = AbsEnv::initial(&compiled.cps);
     let mut check_limits = opts.check;
     let mut trace_fuel = opts.trace_fuel;
@@ -433,6 +460,7 @@ pub fn verify_compiled(
             // emit the deltas.
             stats.cycles = iteration + 1;
             let iter_start = Instant::now();
+            mem::window_reset();
             let (hits0, misses0, rat_hits0, fuel0) = if tracer.enabled() {
                 let cs = cache.stats();
                 (cs.hits(), cs.misses(), cs.rat_hits, budget.fuel_used())
@@ -456,6 +484,9 @@ pub fn verify_compiled(
                     &mut rec,
                 )
             });
+            metrics.observe_dur(Hist::IterUs, iter_start);
+            metrics.observe(Hist::HbpRules, rec.hbp_rules as u64);
+            metrics.observe(Hist::HbpTerms, rec.hbp_terms as u64);
             if tracer.enabled() {
                 emit_injected_fault(&tracer, &outcome);
                 let cs = cache.stats();
@@ -493,6 +524,16 @@ pub fn verify_compiled(
                     if cs.rat_hits > rat_hits0 {
                         e.num("fm_prefix_hits", cs.rat_hits - rat_hits0);
                     }
+                    // Memory accounting postdates the golden traces and is
+                    // all-zero without the counting allocator (test
+                    // harness): emit only when the window saw real bytes.
+                    // Heap watermarks are wall-like — they shift with argv
+                    // length and ambient allocator state — so the logical
+                    // clock omits them the same way it zeroes durations.
+                    let win_peak = mem::window_peak();
+                    if win_peak > 0 && !tracer.is_logical() {
+                        e.num("peak_bytes", win_peak);
+                    }
                 });
             }
             match outcome {
@@ -527,6 +568,11 @@ pub fn verify_compiled(
 
     stats.total = start.elapsed();
     stats.predicates = env.fingerprint();
+    stats.peak_bytes = mem::peak_bytes();
+    stats.peak_abs_bytes = mem::phase_peak(Phase::Abs);
+    stats.peak_mc_bytes = mem::phase_peak(Phase::Mc);
+    stats.peak_feas_bytes = mem::phase_peak(Phase::Feas);
+    stats.peak_interp_bytes = mem::phase_peak(Phase::Interp);
     let cs = cache.stats();
     stats.smt_queries = cs.lookups() as usize;
     stats.cache_hits = cs.hits();
@@ -580,15 +626,20 @@ fn run_iteration(
     };
 
     // Step 1: predicate abstraction (workers share the run-wide cache).
+    // Each step runs under a memory-accounting phase tag so the counting
+    // allocator (when installed) attributes watermarks per phase.
     let t = Instant::now();
-    let abs_result = abstract_program_traced(
+    let mem_tag = mem::phase_scope(Phase::Abs);
+    let abs_result = abstract_program_metered(
         &compiled.cps,
         env,
         abs_opts,
         Some(budget.clone()),
         solver.cache().cloned(),
         tracer,
+        solver.metrics(),
     );
+    drop(mem_tag);
     stats.abst += t.elapsed();
     span("abs", t);
     let bp = match abs_result {
@@ -608,9 +659,11 @@ fn run_iteration(
 
     // Step 2: higher-order model checking.
     let t = Instant::now();
+    let mem_tag = mem::phase_scope(Phase::Mc);
     let mc = (|| {
         let mut checker = Checker::with_budget(&bp, check_limits, budget)?;
         checker.set_tracer(tracer.clone());
+        checker.set_metrics(solver.metrics().clone());
         let saturated = checker.saturate();
         let cs = checker.stats();
         stats.worklist_pops += cs.worklist_pops;
@@ -624,6 +677,7 @@ fn run_iteration(
         }
         find_error_path(&mut checker)
     })();
+    drop(mem_tag);
     stats.mc += t.elapsed();
     span("mc", t);
     let path = match mc {
@@ -637,6 +691,7 @@ fn run_iteration(
 
     // Step 3: replay the abstract error path (feasibility's trace build).
     let t = Instant::now();
+    let mem_tag = mem::phase_scope(Phase::Feas);
     let labels = source_labels(&path);
     rec.cex_len = labels.len();
     let trace = match build_trace_budgeted(&compiled.cps, &labels, trace_fuel, budget) {
@@ -669,11 +724,13 @@ fn run_iteration(
             trace.end
         )));
     }
+    drop(mem_tag);
     stats.cegar += t.elapsed();
     span("feas", t);
 
     // Step 4: feasibility verdict + interpolation-driven refinement.
     let t = Instant::now();
+    let mem_tag = mem::phase_scope(Phase::Interp);
     let refine_opts = RefineOptions {
         iteration,
         ..opts.refine
@@ -687,6 +744,7 @@ fn run_iteration(
         budget,
         tracer,
     );
+    drop(mem_tag);
     stats.cegar += t.elapsed();
     span("interp", t);
     match refined {

@@ -26,6 +26,7 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 
 use homc_budget::{Budget, BudgetError, LimitKind, Phase};
+use homc_metrics::{Counter, Hist, Metrics};
 use homc_smt::Var;
 use homc_trace::Tracer;
 
@@ -205,6 +206,9 @@ pub struct Checker<'p> {
     /// Trace sink: one `mc_round` event per worklist batch (disabled by
     /// default — a no-op handle).
     tracer: Tracer,
+    /// Metrics registry: worklist-depth histogram and round counter
+    /// (disabled by default — a no-op handle).
+    metrics: Metrics,
 }
 
 impl<'p> Checker<'p> {
@@ -262,6 +266,7 @@ impl<'p> Checker<'p> {
             cur_def: None,
             dirty: (0..program.defs.len()).collect(),
             tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         })
     }
 
@@ -270,6 +275,13 @@ impl<'p> Checker<'p> {
     /// size). Purely observational — derivation order is unchanged.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a metrics registry; [`Checker::saturate`] then counts
+    /// rounds ([`Counter::McRounds`]) and records each batch's size in
+    /// [`Hist::WorklistDepth`]. Purely observational, like the tracer.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The final typing table (meaningful after [`Checker::saturate`]).
@@ -334,6 +346,8 @@ impl<'p> Checker<'p> {
             }
             self.stats.rounds += 1;
             self.stats.typings = self.gamma.len();
+            self.metrics.incr(Counter::McRounds);
+            self.metrics.observe(Hist::WorklistDepth, batch_len as u64);
             self.tracer.emit("mc_round", |e| {
                 e.num("round", self.stats.rounds as u64);
                 e.num("typings", self.stats.typings as u64);

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use homc_budget::{Budget, BudgetError, Phase};
+use homc_metrics::{Counter, Hist, Metrics};
 use homc_trace::{stable_hash64, Tracer};
 
 use crate::cache::{CachedSat, QueryCache};
@@ -81,6 +82,7 @@ pub struct SmtSolver {
     budget: Option<Arc<Budget>>,
     cache: Option<Arc<QueryCache>>,
     tracer: Tracer,
+    metrics: Metrics,
 }
 
 /// Tunable search limits of the solver.
@@ -111,6 +113,7 @@ impl SmtSolver {
             budget: Some(budget),
             cache: None,
             tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -150,6 +153,26 @@ impl SmtSolver {
     pub fn with_tracer(mut self, tracer: Tracer) -> SmtSolver {
         self.tracer = tracer;
         self
+    }
+
+    /// Attaches a metrics registry; each *solved* query (the same population
+    /// the tracer sees — cache misses and uncached checks) bumps
+    /// [`Counter::SmtSolves`] and records its latency in
+    /// [`Hist::SmtSolveUs`]. Metrics never write to the trace stream.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// Builder-style variant of [`set_metrics`](Self::set_metrics).
+    pub fn with_metrics(mut self, metrics: Metrics) -> SmtSolver {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The metrics registry this solver records into (possibly disabled);
+    /// downstream phases that only receive the solver reuse this handle.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The branch & bound depth limit.
@@ -205,11 +228,16 @@ impl SmtSolver {
     /// is disabled this is a plain `solve` call — no canonicalization, no
     /// formatting.
     fn solve_traced(&self, f: &Formula, canon: Option<&Formula>) -> SatResult {
-        if !self.tracer.enabled() {
+        if !self.tracer.enabled() && !self.metrics.enabled() {
             return self.solve(f);
         }
         let started = std::time::Instant::now();
         let res = self.solve(f);
+        self.metrics.incr(Counter::SmtSolves);
+        self.metrics.observe_dur(Hist::SmtSolveUs, started);
+        if !self.tracer.enabled() {
+            return res;
+        }
         let dur_us = self.tracer.dur_us(started);
         let computed;
         let canon = match canon {

@@ -2,9 +2,11 @@
 //!
 //! The emitter writes objects, arrays, strings, booleans, `null`, and
 //! *integer* numbers only — durations are microsecond counts, sizes are node
-//! counts — so the parser rejects fractional and exponent forms rather than
-//! dragging in float semantics. Numbers parse into `i128`, wide enough for
-//! any `u64` the emitter produces.
+//! counts — so integers parse exactly into `i128`, wide enough for any `u64`
+//! the emitter produces. Fractional and exponent forms parse into a separate
+//! [`JsonValue::Float`] variant (the bench baseline's `wall_s` columns need
+//! them); [`JsonValue::as_num`] still answers `None` for floats, so integer
+//! consumers such as the trace schema keep their exactness guarantee.
 
 use std::fmt;
 
@@ -17,6 +19,10 @@ pub enum JsonValue {
     Bool(bool),
     /// An integer number.
     Num(i128),
+    /// A fractional or exponent-form number, stored as IEEE-754 bits so the
+    /// value type stays `Eq` (bit equality; construct via [`f64::to_bits`],
+    /// read via [`JsonValue::as_f64`]).
+    Float(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -38,6 +44,16 @@ impl JsonValue {
     pub fn as_num(&self) -> Option<i128> {
         match self {
             JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if this is a number of either kind (integers
+    /// convert with the usual `i128 → f64` rounding).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n as f64),
+            JsonValue::Float(bits) => Some(f64::from_bits(*bits)),
             _ => None,
         }
     }
@@ -225,10 +241,31 @@ impl<'s> Parser<'s> {
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
-        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
-            return Err(self.err("non-integer numbers are outside the trace subset"));
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if float {
+            return match text.parse::<f64>() {
+                Ok(v) if v.is_finite() => Ok(JsonValue::Float(v.to_bits())),
+                _ => Err(self.err("invalid number")),
+            };
+        }
         text.parse::<i128>()
             .map(JsonValue::Num)
             .map_err(|_| self.err("invalid number"))
@@ -318,9 +355,18 @@ mod tests {
     }
 
     #[test]
-    fn rejects_floats_and_trailing_garbage() {
-        assert!(parse_json("1.5").is_err());
-        assert!(parse_json("1e3").is_err());
+    fn floats_parse_but_stay_out_of_as_num() {
+        let v = parse_json("1.5").expect("parses");
+        assert_eq!(v.as_f64(), Some(1.5));
+        assert_eq!(v.as_num(), None, "floats are not trace integers");
+        assert_eq!(parse_json("1e3").expect("parses").as_f64(), Some(1000.0));
+        assert_eq!(parse_json("-2.25").expect("parses").as_f64(), Some(-2.25));
+        assert_eq!(parse_json("7").expect("parses").as_f64(), Some(7.0));
+        assert!(parse_json("1.5.2").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
         assert!(parse_json("{} x").is_err());
         assert!(parse_json("{\"a\":}").is_err());
         assert!(parse_json("[1,2").is_err());

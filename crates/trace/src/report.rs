@@ -189,14 +189,11 @@ fn render_queries(out: &mut String, queries: &BTreeMap<String, QueryAgg>) {
         queries.len(),
         solves
     );
-    // BTreeMap iteration makes the key-ascending tiebreak deterministic.
+    // Rank by total time; ties break by the stable FNV-1a query key alone
+    // (never by count or arrival order), so re-rendering the same trace —
+    // or two traces that merely reorder solves — is byte-identical.
     let mut ranked: Vec<(&String, &QueryAgg)> = queries.iter().collect();
-    ranked.sort_by(|(ka, a), (kb, b)| {
-        b.total_us
-            .cmp(&a.total_us)
-            .then(b.count.cmp(&a.count))
-            .then(ka.cmp(kb))
-    });
+    ranked.sort_by(|(ka, a), (kb, b)| b.total_us.cmp(&a.total_us).then(ka.cmp(kb)));
     let _ = writeln!(
         out,
         "{:>4} {:>6} {:>9} {:>5}  query",
@@ -249,6 +246,27 @@ mod tests {
         let aa = report.find("(x > 0)").expect("aa present");
         let bb = report.find("(y = 2)").expect("bb present");
         assert!(aa < bb, "{report}");
+    }
+
+    #[test]
+    fn hot_query_ranking_is_deterministic_under_ties() {
+        // Three queries with identical total time and differing counts: the
+        // ranking must order by key alone, and repeated renders must be
+        // byte-identical.
+        let trace = concat!(
+            "{\"ts\":0,\"ev\":\"run_start\",\"name\":\"p1\",\"clock\":\"wall\"}\n",
+            "{\"ts\":1,\"ev\":\"smt\",\"key\":\"cc\",\"size\":1,\"result\":\"sat\",\"dur_us\":100,\"q\":\"(c)\"}\n",
+            "{\"ts\":2,\"ev\":\"smt\",\"key\":\"aa\",\"size\":1,\"result\":\"sat\",\"dur_us\":50,\"q\":\"(a)\"}\n",
+            "{\"ts\":3,\"ev\":\"smt\",\"key\":\"aa\",\"size\":1,\"result\":\"sat\",\"dur_us\":50,\"q\":\"(a)\"}\n",
+            "{\"ts\":4,\"ev\":\"smt\",\"key\":\"bb\",\"size\":1,\"result\":\"sat\",\"dur_us\":100,\"q\":\"(b)\"}\n",
+            "{\"ts\":5,\"ev\":\"run_end\",\"dur_us\":200}\n",
+        );
+        let report = render_report(trace);
+        assert_eq!(report, render_report(trace), "renders must be byte-identical");
+        let pos = |q: &str| report.find(q).unwrap_or_else(|| panic!("{q} in {report}"));
+        // All totals tie at 100 µs: key order aa < bb < cc decides.
+        assert!(pos("(a)") < pos("(b)"), "{report}");
+        assert!(pos("(b)") < pos("(c)"), "{report}");
     }
 
     #[test]

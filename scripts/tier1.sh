@@ -33,27 +33,34 @@ run cargo run --release --offline --bin homc -- --suite --timeout 1
 # Trace smoke: one traced suite run must produce a schema-valid JSONL
 # trace (validated by the in-tree validator — no jq) and the report
 # renderer must accept it. Uses the logical clock so the stage is
-# deterministic across runners.
+# deterministic across runners — which a second run plus trace-diff
+# verifies byte-for-byte (exit 0 means no semantic differences either).
 TRACE_SMOKE=target/trace-smoke.jsonl
+TRACE_SMOKE2=target/trace-smoke-2.jsonl
 run cargo run --release --offline --bin homc -- --suite intro1 --trace-logical "$TRACE_SMOKE"
 run cargo run --release --offline --bin homc -- trace-validate "$TRACE_SMOKE"
 run cargo run --release --offline --bin homc -- trace-report "$TRACE_SMOKE"
+run cargo run --release --offline --bin homc -- --suite intro1 --trace-logical "$TRACE_SMOKE2"
+run cmp "$TRACE_SMOKE" "$TRACE_SMOKE2"
+run cargo run --release --offline --bin homc -- trace-diff "$TRACE_SMOKE" "$TRACE_SMOKE2"
+
+# Profile smoke: the folded-stack self-profiler must produce telescoping,
+# well-formed output (the profile subcommand exits non-zero if any child
+# span overruns its parent or a folded line fails to parse).
+PROFILE_SMOKE=target/profile-smoke.folded
+run cargo run --release --offline --bin homc -- profile --suite intro1 -o "$PROFILE_SMOKE"
+test -s "$PROFILE_SMOKE"
 
 # Bench smoke: run Table 1 at full budget to a scratch file first and gate
-# total wall time against the checked-in baseline — a regression of more
-# than 25% on totals.wall_s fails the stage *before* the baseline is
-# refreshed, so a slow build cannot silently rewrite its own yardstick.
-# The run itself still fails on any verdict mismatch against the paper.
+# it against the checked-in baseline with bench-diff — a totals.wall_s
+# regression past the gate thresholds (or any verdict flip) fails the
+# stage *before* the baseline is refreshed, so a slow build cannot
+# silently rewrite its own yardstick. The table1 run itself still fails
+# on any verdict mismatch against the paper.
 BENCH_SCRATCH=target/bench-table1.json
 run cargo run --release --offline -p homc-bench --bin table1 -- --json "$BENCH_SCRATCH"
 if [ -f BENCH_table1.json ]; then
-    base=$(grep -o '"wall_s": *[0-9.]*' BENCH_table1.json | tail -1 | grep -o '[0-9.]*$')
-    new=$(grep -o '"wall_s": *[0-9.]*' "$BENCH_SCRATCH" | tail -1 | grep -o '[0-9.]*$')
-    echo "==> bench guard: totals.wall_s baseline=${base}s new=${new}s (limit 1.25x)"
-    if awk -v b="$base" -v n="$new" 'BEGIN { exit !(n > 1.25 * b) }'; then
-        echo "tier1: FAIL — Table 1 wall time regressed more than 25%" >&2
-        exit 1
-    fi
+    run cargo run --release --offline --bin homc -- bench-diff BENCH_table1.json "$BENCH_SCRATCH" --gate
 fi
 cp "$BENCH_SCRATCH" BENCH_table1.json
 
