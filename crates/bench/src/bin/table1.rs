@@ -27,7 +27,7 @@ static COUNTING_ALLOC: homc_metrics::mem::CountingAlloc = homc_metrics::mem::Cou
 
 /// The baseline document's schema version. `bench-diff` refuses to compare
 /// documents whose schema (or suite, or clock mode) disagrees.
-const SCHEMA: u64 = 2;
+const SCHEMA: u64 = 3;
 
 /// Escapes a string for a JSON string literal (the names and verdicts here
 /// are ASCII identifiers, but quoting defensively costs nothing).
@@ -55,6 +55,7 @@ fn to_json(rows: &[Row]) -> String {
     let (mut smt, mut hits, mut misses, mut pops, mut rescans) = (0usize, 0u64, 0u64, 0usize, 0usize);
     let (mut sliced, mut reuse, mut prefix) = (0usize, 0usize, 0u64);
     let mut peak = 0u64;
+    let (mut warm_total, mut disk_hits) = (0.0f64, 0u64);
     let mut body = String::from("{\n");
     let _ = writeln!(
         body,
@@ -81,6 +82,8 @@ fn to_json(rows: &[Row]) -> String {
         reuse += s.cert_reuse_hits;
         prefix += s.fm_prefix_hits;
         peak = peak.max(s.peak_bytes);
+        warm_total += r.warm_total_s;
+        disk_hits += r.warm_disk_hits;
         let _ = writeln!(
             body,
             "    {{\"name\": {}, \"verdict\": {}, \"verdict_ok\": {}, \"cycles\": {}, \
@@ -90,7 +93,8 @@ fn to_json(rows: &[Row]) -> String {
              \"worklist_pops\": {}, \"rescans_avoided\": {}, \
              \"cuts_sliced\": {}, \"cert_reuse_hits\": {}, \"fm_prefix_hits\": {}, \
              \"peak_bytes\": {}, \"peak_abs_bytes\": {}, \"peak_mc_bytes\": {}, \
-             \"peak_feas_bytes\": {}, \"peak_interp_bytes\": {}}}{}",
+             \"peak_feas_bytes\": {}, \"peak_interp_bytes\": {}, \
+             \"warm_total_s\": {:.4}, \"warm_disk_hits\": {}}}{}",
             json_str(r.name),
             json_str(verdict),
             r.verdict_ok,
@@ -114,6 +118,8 @@ fn to_json(rows: &[Row]) -> String {
             s.peak_mc_bytes,
             s.peak_feas_bytes,
             s.peak_interp_bytes,
+            r.warm_total_s,
+            r.warm_disk_hits,
             if i + 1 == rows.len() { "" } else { "," },
         );
     }
@@ -123,7 +129,8 @@ fn to_json(rows: &[Row]) -> String {
          \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"worklist_pops\": {pops}, \
          \"rescans_avoided\": {rescans}, \"cuts_sliced\": {sliced}, \
          \"cert_reuse_hits\": {reuse}, \"fm_prefix_hits\": {prefix}, \
-         \"peak_bytes\": {peak}}}\n}}\n",
+         \"peak_bytes\": {peak}, \"warm_wall_s\": {warm_total:.4}, \
+         \"warm_disk_hits\": {disk_hits}}}\n}}\n",
     );
     body
 }
@@ -164,6 +171,9 @@ fn main() -> ExitCode {
     }
     println!("{}", "-".repeat(86));
     let total: f64 = rows.iter().map(|r| r.outcome.stats.total.as_secs_f64()).sum();
+    let warm: f64 = rows.iter().map(|r| r.warm_total_s).sum();
+    let disk_hits: u64 = rows.iter().map(|r| r.warm_disk_hits).sum();
+    println!("warm rerun {warm:.2}s via disk cache ({disk_hits} disk hits)");
     println!(
         "total {total:.2}s; verdicts: {}",
         if all_ok {

@@ -29,8 +29,8 @@
 
 use std::fmt;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How often (in checkpoints) the wall clock is consulted.
@@ -113,6 +113,9 @@ pub enum LimitKind {
     Size,
     /// A [`FaultPlan`] injection fired.
     Injected,
+    /// The run was cooperatively cancelled (a [`CancelToken`] was set) —
+    /// e.g. the batch driver tearing down a fleet at its global deadline.
+    Cancelled,
 }
 
 impl fmt::Display for LimitKind {
@@ -123,6 +126,7 @@ impl fmt::Display for LimitKind {
             LimitKind::Steps => write!(f, "step limit"),
             LimitKind::Size => write!(f, "size limit"),
             LimitKind::Injected => write!(f, "injected fault"),
+            LimitKind::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -288,12 +292,42 @@ impl FromStr for Fault {
     }
 }
 
+/// A clonable cooperative-cancellation flag.
+///
+/// The serving layer hands one token to every job of a batch: setting it
+/// (from a watchdog thread, a shutdown path, or a fault drill) makes every
+/// [`Budget::checkpoint`] against a budget carrying the token fail with
+/// [`LimitKind::Cancelled`] — running jobs unwind to a structured `Unknown`
+/// at their next checkpoint instead of being killed mid-write.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unset token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
 /// The shared resource budget: wall-clock deadline + monotone fuel counter +
 /// deterministic fault plan, with one checkpoint counter per [`Phase`].
 pub struct Budget {
     deadline: Option<Instant>,
     max_fuel: Option<u64>,
     plan: FaultPlan,
+    cancel: Option<CancelToken>,
     fuel_used: AtomicU64,
     counters: [AtomicU64; 5],
 }
@@ -304,6 +338,10 @@ impl fmt::Debug for Budget {
             .field("deadline", &self.deadline)
             .field("max_fuel", &self.max_fuel)
             .field("plan", &self.plan)
+            .field(
+                "cancelled",
+                &self.cancel.as_ref().is_some_and(CancelToken::is_cancelled),
+            )
             .field("fuel_used", &self.fuel_used.load(Ordering::Relaxed))
             .finish()
     }
@@ -322,9 +360,23 @@ impl Budget {
             deadline: timeout.map(|t| Instant::now() + t),
             max_fuel,
             plan,
+            cancel: None,
             fuel_used: AtomicU64::new(0),
             counters: Default::default(),
         }
+    }
+
+    /// Attaches a cooperative-cancellation token (builder style). Once the
+    /// token is cancelled, every subsequent checkpoint fails with
+    /// [`LimitKind::Cancelled`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The cancellation token, if one is attached.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// A shared budget with no limits and no faults. Checkpoints against it
@@ -374,6 +426,15 @@ impl Budget {
     pub fn checkpoint(&self, phase: Phase) -> Result<(), BudgetError> {
         let count = self.counters[phase.index()].fetch_add(1, Ordering::Relaxed) + 1;
         let fuel = self.fuel_used.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(BudgetError::with_detail(
+                    phase,
+                    LimitKind::Cancelled,
+                    "cooperative cancellation requested",
+                ));
+            }
+        }
         if let Some(fault) = self.plan.fires(phase, count) {
             match fault.kind {
                 FaultKind::Error => {
@@ -500,6 +561,31 @@ mod tests {
         assert!("mc:0".parse::<Fault>().is_err());
         assert!("mc".parse::<Fault>().is_err());
         assert!("mc:1:panic:x".parse::<Fault>().is_err());
+    }
+
+    #[test]
+    fn cancel_token_preempts_at_next_checkpoint() {
+        let token = CancelToken::new();
+        let b = Budget::new(None, None, FaultPlan::none()).with_cancel(token.clone());
+        b.checkpoint(Phase::Mc).expect("not yet cancelled");
+        assert!(!token.is_cancelled());
+        token.cancel();
+        let e = b.checkpoint(Phase::Smt).expect_err("cancelled");
+        assert_eq!(e.limit, LimitKind::Cancelled);
+        assert_eq!(e.phase, Phase::Smt);
+        assert!(!e.retryable(), "cancellation must not trigger retries");
+        // Sticky: every later checkpoint fails too.
+        assert!(b.checkpoint(Phase::Abs).is_err());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let b1 = Budget::new(None, None, FaultPlan::none()).with_cancel(token.clone());
+        let b2 = Budget::new(None, None, FaultPlan::none()).with_cancel(token.clone());
+        token.cancel();
+        assert!(b1.checkpoint(Phase::Mc).is_err());
+        assert!(b2.checkpoint(Phase::Mc).is_err());
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! Batch verification: many programs through the `homc-serve` job pool.
+//!
+//! Each job runs under its own budget scope (deadline, fuel, cooperative
+//! [`CancelToken`]) against a **private** query cache seeded from the shared
+//! disk tier, so one job's failure — panic, exhaustion, hang — can neither
+//! poison another job's state nor abort the batch. The pool retries a job
+//! once (with backoff) when it ends in *retryable* exhaustion; a job that
+//! still cannot settle degrades to a structured `Unknown` entry in the
+//! report. After the fleet drains, the union of every job's freshly solved
+//! queries is published back to disk as one new append-only segment.
+//!
+//! Determinism: per-job fault injection ([`JobFault`]) covers job-thread
+//! panics and fuel exhaustion; the disk tier's [`DiskFault`] covers torn
+//! writes, truncation and checksum flips. Under a logical trace clock each
+//! job's event stream is byte-identical to a solo run of the same program
+//! (fresh caches, no disk dir), which the batch degradation test asserts.
+
+use std::io;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use homc_serve::{
+    run_jobs, seed_cache, Attempt, DiskCache, DiskFault, Job, JobOutcome, LoadReport, PoolConfig,
+    PublishReport, RetryPolicy,
+};
+use homc_smt::{CancelToken, QueryCache};
+use homc_trace::Tracer;
+
+use crate::suite::Expected;
+use crate::verifier::{verify, UnknownReason, Verdict, VerifierOptions, VerifyStats};
+
+/// A deterministic fault injected into one batch job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobFaultKind {
+    /// The job body panics on every attempt (trapped by the pool).
+    Panic,
+    /// The job runs with `fuel = 1`: retryable exhaustion, exercising the
+    /// retry path before settling on a degraded `Unknown`.
+    Exhaust,
+}
+
+/// `<job-index>:<panic|exhaust>`, as accepted by `homc batch --inject-job`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobFault {
+    /// 0-based index of the target job in the submitted batch.
+    pub job: usize,
+    /// What goes wrong.
+    pub kind: JobFaultKind,
+}
+
+impl FromStr for JobFault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<JobFault, String> {
+        let err = || format!("invalid job fault {s:?} (want <index>:panic or <index>:exhaust)");
+        let (idx, kind) = s.split_once(':').ok_or_else(err)?;
+        let job: usize = idx.parse().map_err(|_| err())?;
+        let kind = match kind {
+            "panic" => JobFaultKind::Panic,
+            "exhaust" => JobFaultKind::Exhaust,
+            _ => return Err(err()),
+        };
+        Ok(JobFault { job, kind })
+    }
+}
+
+/// One unit of batch work.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// Display name (suite program name or file path).
+    pub name: String,
+    /// Source text.
+    pub source: String,
+    /// Expected verdict, when known (suite programs).
+    pub expected: Option<Expected>,
+}
+
+/// Options for [`run_batch`].
+#[derive(Clone)]
+pub struct BatchOptions {
+    /// Worker threads for the job pool.
+    pub workers: usize,
+    /// Retry policy for retryable exhaustion.
+    pub retry: RetryPolicy,
+    /// Watchdog limit: cancel any single attempt still running after this
+    /// long (cooperative, observed at the job's next budget checkpoint).
+    pub watchdog: Option<Duration>,
+    /// Directory of the persistent cache tier. `None` runs memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Deterministic disk fault applied to the segment published at the end.
+    pub disk_fault: Option<DiskFault>,
+    /// Deterministic per-job faults.
+    pub job_faults: Vec<JobFault>,
+    /// When set, each job writes its trace to `<dir>/<name>.jsonl`.
+    pub trace_dir: Option<PathBuf>,
+    /// Capture each job's trace in memory and return it in the report
+    /// (ignored when `trace_dir` is set). Used by the degradation tests.
+    pub capture_traces: bool,
+    /// Logical trace clock (byte-deterministic streams).
+    pub logical: bool,
+    /// Base verifier options cloned for every job. The driver overrides
+    /// `cache`, `cancel` and `tracer`; `fuel` is overridden for jobs under
+    /// an `Exhaust` fault.
+    pub verify: VerifierOptions,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            workers: 2,
+            retry: RetryPolicy::default(),
+            watchdog: None,
+            cache_dir: None,
+            disk_fault: None,
+            job_faults: Vec::new(),
+            trace_dir: None,
+            capture_traces: false,
+            logical: false,
+            verify: VerifierOptions::default(),
+        }
+    }
+}
+
+/// How one job is tallied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Decisive verdict matching the expectation (or any decisive verdict
+    /// when there is none).
+    Passed,
+    /// Wrong decisive verdict or a hard (front-end) error.
+    Failed,
+    /// The job degraded: budget, injected fault, panic, cancellation.
+    Unknown,
+}
+
+/// One job's terminal report. Every submitted job gets exactly one.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Job name.
+    pub name: String,
+    /// Tally bucket.
+    pub status: JobStatus,
+    /// The verdict, phrased like the CLI (`safe`, `unsafe`,
+    /// `unknown (...)`), or the hard error text.
+    pub verdict: String,
+    /// Wall-clock time of the settled attempt (zero for queue-cancelled
+    /// jobs).
+    pub wall: Duration,
+    /// Attempts actually started.
+    pub attempts: u32,
+    /// Detail of the retry trigger, when the job was retried.
+    pub retry_detail: Option<String>,
+    /// Effort counters, when verification produced an outcome at all.
+    pub stats: Option<VerifyStats>,
+    /// Captured in-memory trace (only with `capture_traces`).
+    pub trace: Option<String>,
+}
+
+/// The complete batch report: one entry per job plus the tier summary.
+/// `passed + failed + unknown == jobs.len()` always holds.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Per-job reports, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// Jobs whose verdict matched.
+    pub passed: usize,
+    /// Jobs with a wrong verdict or hard error.
+    pub failed: usize,
+    /// Jobs that degraded to `unknown`.
+    pub unknown: usize,
+    /// Disk-tier load summary, when a cache dir was configured.
+    pub load: Option<LoadReport>,
+    /// Disk-tier publish summary, when a new segment was written.
+    pub publish: Option<PublishReport>,
+    /// Total lookups answered from disk-seeded entries, across all jobs.
+    pub disk_hits: u64,
+}
+
+/// What one settled verification attempt carries through the pool.
+struct Settled {
+    status: JobStatus,
+    verdict: String,
+    wall: Duration,
+    stats: Option<VerifyStats>,
+    trace: Option<String>,
+}
+
+fn tally(verdict: &Verdict, expected: Option<Expected>) -> JobStatus {
+    match (verdict, expected) {
+        (Verdict::Unknown { .. }, _) => JobStatus::Unknown,
+        (_, None) => JobStatus::Passed,
+        (_, Some(Expected::Safe)) if verdict.is_safe() => JobStatus::Passed,
+        (_, Some(Expected::Unsafe)) if verdict.is_unsafe() => JobStatus::Passed,
+        (_, Some(Expected::Diverges)) if !verdict.is_unsafe() => JobStatus::Passed,
+        _ => JobStatus::Failed,
+    }
+}
+
+/// A trace-file name that cannot escape the trace dir.
+fn trace_file_name(name: &str) -> String {
+    let safe: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    format!("{safe}.jsonl")
+}
+
+/// Runs every job to a terminal state and returns the complete report.
+///
+/// Fails only on environment-level I/O errors (unreadable cache directory,
+/// unwritable trace dir) detected *before* any job starts; once the pool is
+/// running, every failure mode degrades to a per-job report entry.
+pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchReport> {
+    let disk = opts.cache_dir.as_ref().map(|dir| {
+        let mut d = DiskCache::new(dir).with_metrics(opts.verify.metrics.clone());
+        if opts.disk_fault.is_some() {
+            d = d.with_fault(opts.disk_fault);
+        }
+        d
+    });
+    let (records, load) = match &disk {
+        Some(d) => {
+            let (r, rep) = d.load()?;
+            (Arc::new(r), Some(rep))
+        }
+        None => (Arc::new(Vec::new()), None),
+    };
+
+    // Per-job private caches, kept out here so the new entries can be
+    // unioned and published after the fleet drains.
+    let mut caches: Vec<Arc<QueryCache>> = Vec::with_capacity(jobs.len());
+    let mut pool_jobs: Vec<Job<Settled>> = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let cancel = CancelToken::new();
+        let cache = Arc::new(QueryCache::new());
+        seed_cache(&cache, &records);
+        caches.push(cache.clone());
+
+        let fault = opts.job_faults.iter().find(|f| f.job == i).map(|f| f.kind);
+        let mut vopts = opts.verify.clone();
+        vopts.cancel = Some(cancel.clone());
+        vopts.cache = Some(cache);
+        if fault == Some(JobFaultKind::Exhaust) {
+            vopts.fuel = Some(1);
+        }
+        let tracer = match &opts.trace_dir {
+            Some(dir) => Tracer::to_file(&dir.join(trace_file_name(&job.name)), opts.logical)?,
+            None if opts.capture_traces => Tracer::memory(opts.logical),
+            None => Tracer::disabled(),
+        };
+        vopts.tracer = tracer.clone();
+
+        let name = job.name.clone();
+        let source = job.source.clone();
+        let expected = job.expected;
+        let run = Box::new(move |_attempt: u32| -> Attempt<Settled> {
+            if fault == Some(JobFaultKind::Panic) {
+                panic!("injected fault: batch job body");
+            }
+            tracer.emit("run_start", |e| {
+                e.str("name", &name).str(
+                    "clock",
+                    if tracer.is_logical() { "logical" } else { "wall" },
+                );
+            });
+            let t = Instant::now();
+            let result = verify(&source, &vopts);
+            let wall = t.elapsed();
+            tracer.emit("run_end", |e| {
+                e.num("dur_us", tracer.dur_us(t));
+            });
+            tracer.flush();
+            let trace = tracer.snapshot();
+            match result {
+                Ok(out) => {
+                    let settled = Settled {
+                        status: tally(&out.verdict, expected),
+                        verdict: match &out.verdict {
+                            Verdict::Safe => "safe".to_string(),
+                            Verdict::Unsafe { .. } => "unsafe".to_string(),
+                            Verdict::Unknown { reason } => format!("unknown ({reason})"),
+                        },
+                        wall,
+                        stats: Some(out.stats),
+                        trace,
+                    };
+                    // Retryable exhaustion (fuel/steps/size — not deadline,
+                    // cancellation or an injected error) asks the pool for
+                    // its one backed-off retry; the degraded verdict is the
+                    // fallback if none remains.
+                    if let Verdict::Unknown {
+                        reason: UnknownReason::Budget(e),
+                    } = &out.verdict
+                    {
+                        if e.retryable() {
+                            let detail = e.to_string();
+                            return Attempt::Retry {
+                                fallback: settled,
+                                detail,
+                            };
+                        }
+                    }
+                    Attempt::Done(settled)
+                }
+                Err(e) => Attempt::Done(Settled {
+                    status: JobStatus::Failed,
+                    verdict: format!("error: {e}"),
+                    wall,
+                    stats: None,
+                    trace,
+                }),
+            }
+        });
+        pool_jobs.push(Job { cancel, run });
+    }
+
+    let config = PoolConfig {
+        workers: opts.workers,
+        retry: opts.retry,
+        watchdog: opts.watchdog,
+        metrics: opts.verify.metrics.clone(),
+    };
+    let pool_cancel = CancelToken::new();
+    let results = run_jobs(pool_jobs, &config, &pool_cancel);
+
+    let mut report = BatchReport {
+        load,
+        ..BatchReport::default()
+    };
+    for (job, res) in jobs.iter().zip(results) {
+        let entry = match res.outcome {
+            JobOutcome::Done(s) => JobReport {
+                name: job.name.clone(),
+                status: s.status,
+                verdict: s.verdict,
+                wall: s.wall,
+                attempts: res.attempts,
+                retry_detail: res.retry_detail,
+                stats: s.stats,
+                trace: s.trace,
+            },
+            JobOutcome::Panicked { detail } => JobReport {
+                name: job.name.clone(),
+                status: JobStatus::Unknown,
+                verdict: format!(
+                    "unknown ({})",
+                    UnknownReason::InternalFault(detail.clone())
+                ),
+                wall: Duration::ZERO,
+                attempts: res.attempts,
+                retry_detail: res.retry_detail,
+                stats: None,
+                trace: None,
+            },
+            JobOutcome::Cancelled => JobReport {
+                name: job.name.clone(),
+                status: JobStatus::Unknown,
+                verdict: "unknown (cancelled before start)".to_string(),
+                wall: Duration::ZERO,
+                attempts: res.attempts,
+                retry_detail: res.retry_detail,
+                stats: None,
+                trace: None,
+            },
+        };
+        match entry.status {
+            JobStatus::Passed => report.passed += 1,
+            JobStatus::Failed => report.failed += 1,
+            JobStatus::Unknown => report.unknown += 1,
+        }
+        if let Some(s) = &entry.stats {
+            report.disk_hits += s.disk_hits;
+        }
+        report.jobs.push(entry);
+    }
+
+    // Publish the union of every job's freshly solved queries as one new
+    // segment. Seeding the union cache with the original disk records marks
+    // them as already-persisted, so only genuinely new entries are written.
+    if let Some(d) = &disk {
+        let union = QueryCache::new();
+        seed_cache(&union, &records);
+        for cache in &caches {
+            for (k, v) in cache.export_new_check() {
+                union.store_check(k, v);
+            }
+            for (k, v) in cache.export_new_cubes() {
+                union.store_cube(k, v);
+            }
+        }
+        report.publish = d.publish(&union)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    fn job(name: &str) -> BatchJob {
+        let p = suite::find(name).expect("suite program");
+        BatchJob {
+            name: p.name.to_string(),
+            source: p.source.to_string(),
+            expected: Some(p.expected),
+        }
+    }
+
+    #[test]
+    fn job_fault_parses() {
+        assert_eq!(
+            "3:panic".parse::<JobFault>().unwrap(),
+            JobFault {
+                job: 3,
+                kind: JobFaultKind::Panic
+            }
+        );
+        assert_eq!(
+            "0:exhaust".parse::<JobFault>().unwrap(),
+            JobFault {
+                job: 0,
+                kind: JobFaultKind::Exhaust
+            }
+        );
+        assert!("panic".parse::<JobFault>().is_err());
+        assert!("x:panic".parse::<JobFault>().is_err());
+        assert!("1:hang".parse::<JobFault>().is_err());
+    }
+
+    #[test]
+    fn small_batch_all_pass() {
+        let jobs = vec![job("sum"), job("max"), job("mult")];
+        let n = jobs.len();
+        let report = run_batch(jobs, &BatchOptions::default()).unwrap();
+        assert_eq!(report.jobs.len(), n);
+        assert_eq!(report.passed + report.failed + report.unknown, n);
+        assert_eq!(report.failed, 0);
+        assert!(report.load.is_none());
+        assert!(report.publish.is_none());
+    }
+
+    #[test]
+    fn warm_disk_rerun_hits() {
+        let dir = std::env::temp_dir().join(format!("homc-batch-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = BatchOptions {
+            cache_dir: Some(dir.clone()),
+            ..BatchOptions::default()
+        };
+        let cold = run_batch(vec![job("sum"), job("max")], &opts).unwrap();
+        assert_eq!(cold.disk_hits, 0);
+        assert!(cold.publish.is_some(), "cold run must publish a segment");
+        let warm = run_batch(vec![job("sum"), job("max")], &opts).unwrap();
+        assert!(warm.disk_hits > 0, "warm rerun must hit the disk tier");
+        assert_eq!(warm.failed, 0);
+        for (c, w) in cold.jobs.iter().zip(&warm.jobs) {
+            assert_eq!(c.verdict, w.verdict, "warm verdict flip on {}", c.name);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

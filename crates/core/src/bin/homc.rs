@@ -3,6 +3,13 @@
 //! ```text
 //! homc [options] <file.ml>       verify a source file
 //! homc [options] --suite [name]  run the paper's Table 1 suite (or one program)
+//! homc batch [batch-options] [program|file.ml ...]
+//!                                   run many jobs through the work-stealing
+//!                                   pool, each isolated under its own budget;
+//!                                   failed/hung jobs degrade to `unknown`,
+//!                                   never a process abort. With --cache-dir,
+//!                                   SMT query results persist across runs in
+//!                                   a versioned, checksummed segment store.
 //! homc profile (<file.ml> | --suite [name]) [-o <out.folded>]
 //!                                   self-profile: verify under a wall-clock
 //!                                   tracer, fold the spans into
@@ -40,9 +47,10 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use homc::{
-    bench_diff, fold_trace, parse_threshold, render_report, suite, trace_diff, validate_folded,
-    validate_trace, verify, DiffOptions, Expected, Fault, FaultPlan, Metrics, Tracer, Verdict,
-    VerifierOptions, VerifyStats,
+    bench_diff, fold_trace, parse_threshold, render_report, run_batch, suite, trace_diff,
+    validate_folded, validate_trace, verify, BatchJob, BatchOptions, DiffOptions, DiskFault,
+    Expected, Fault, FaultPlan, JobFault, JobStatus, Metrics, Tracer, Verdict, VerifierOptions,
+    VerifyStats,
 };
 
 // The binary (not the library) installs the counting allocator: tests and
@@ -213,6 +221,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] [--stats] \
          [--trace <out.jsonl> | --trace-logical <out.jsonl>] (<file.ml> | --suite [program])\n\
+         \x20      homc batch [--workers <n>] [--cache-dir <dir>] [--trace-dir <dir>] [--logical]\n\
+         \x20                 [--timeout <secs>] [--watchdog <secs>] [--stats]\n\
+         \x20                 [--inject-job <idx:panic|exhaust>]\n\
+         \x20                 [--inject-disk <torn:b|trunc:r|flipsum:r|flip:o>] [program|file ...]\n\
          \x20      homc profile (<file.ml> | --suite [program]) [-o <out.folded>]\n\
          \x20      homc trace-report <file.jsonl>\n\
          \x20      homc trace-validate <file.jsonl>\n\
@@ -482,6 +494,211 @@ fn cmd_profile(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `homc batch`: the crash-safe fleet runner. Every job gets exactly one
+/// report line; the exit code reflects only *failed* (wrong-verdict) jobs.
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let mut opts = BatchOptions::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |flag: &str| format!("homc: {flag} needs a value");
+        match args[i].as_str() {
+            "--workers" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{}", need("--workers"));
+                    return usage();
+                };
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.workers = n,
+                    _ => {
+                        eprintln!("homc: --workers must be a positive integer, got {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--cache-dir" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{}", need("--cache-dir"));
+                    return usage();
+                };
+                opts.cache_dir = Some(std::path::PathBuf::from(v));
+                i += 2;
+            }
+            "--trace-dir" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{}", need("--trace-dir"));
+                    return usage();
+                };
+                opts.trace_dir = Some(std::path::PathBuf::from(v));
+                i += 2;
+            }
+            "--logical" => {
+                opts.logical = true;
+                i += 1;
+            }
+            flag @ ("--timeout" | "--watchdog") => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{}", need(flag));
+                    return usage();
+                };
+                let secs: f64 = match v.parse() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        eprintln!("homc: invalid {flag} value {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if !secs.is_finite() || secs <= 0.0 {
+                    eprintln!("homc: {flag} must be positive, got {v:?}");
+                    return ExitCode::FAILURE;
+                }
+                let d = Duration::from_secs_f64(secs);
+                if flag == "--timeout" {
+                    opts.verify.timeout = Some(d);
+                } else {
+                    opts.watchdog = Some(d);
+                }
+                i += 2;
+            }
+            "--inject-job" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{}", need("--inject-job"));
+                    return usage();
+                };
+                match v.parse::<JobFault>() {
+                    Ok(f) => opts.job_faults.push(f),
+                    Err(e) => {
+                        eprintln!("homc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--inject-disk" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{}", need("--inject-disk"));
+                    return usage();
+                };
+                match v.parse::<DiskFault>() {
+                    Ok(f) => opts.disk_fault = Some(f),
+                    Err(e) => {
+                        eprintln!("homc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--stats" => {
+                opts.verify.metrics = Metrics::new(opts.logical);
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("homc: unknown batch flag {flag}");
+                return usage();
+            }
+            other => {
+                targets.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    // No targets: the whole Table 1 suite. Otherwise each target is a suite
+    // program name or a source file path.
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    if targets.is_empty() {
+        for p in suite::SUITE {
+            jobs.push(BatchJob {
+                name: p.name.to_string(),
+                source: p.source.to_string(),
+                expected: Some(p.expected),
+            });
+        }
+    } else {
+        for t in &targets {
+            if let Some(p) = suite::find(t) {
+                jobs.push(BatchJob {
+                    name: p.name.to_string(),
+                    source: p.source.to_string(),
+                    expected: Some(p.expected),
+                });
+            } else {
+                match std::fs::read_to_string(t) {
+                    Ok(src) => jobs.push(BatchJob {
+                        name: t.clone(),
+                        source: src,
+                        expected: None,
+                    }),
+                    Err(e) => {
+                        eprintln!("homc: {t:?} is neither a suite program nor a readable file: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    }
+    let stats_on = opts.verify.metrics.enabled();
+    let report = match run_batch(jobs, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("homc: batch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for j in &report.jobs {
+        let retried = if j.attempts > 1 {
+            format!("  (attempts={}{})", j.attempts, match &j.retry_detail {
+                Some(d) => format!(", retried after {d}"),
+                None => String::new(),
+            })
+        } else {
+            String::new()
+        };
+        say(format_args!(
+            "{:12} wall={} -> {}{}{}",
+            j.name,
+            fmt_d(j.wall),
+            j.verdict,
+            if j.status == JobStatus::Failed {
+                "  ** UNEXPECTED **"
+            } else {
+                ""
+            },
+            retried,
+        ));
+    }
+    say(format_args!(
+        "passed {}, failed {}, unknown {}  ({} jobs, {} workers)",
+        report.passed,
+        report.failed,
+        report.unknown,
+        report.jobs.len(),
+        opts.workers,
+    ));
+    if let Some(load) = &report.load {
+        say(format_args!("cache load: {load}  disk hits {}", report.disk_hits));
+    }
+    if let Some(p) = &report.publish {
+        say(format_args!(
+            "cache publish: {} record(s), {} bytes -> {}",
+            p.records,
+            p.bytes,
+            p.path.display()
+        ));
+    }
+    if stats_on {
+        let rendered = opts.verify.metrics.snapshot().render("  ");
+        if !rendered.is_empty() {
+            say(format_args!("{}", rendered.trim_end()));
+        }
+    }
+    if report.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -505,6 +722,9 @@ fn main() -> ExitCode {
         }
         "profile" => {
             return cmd_profile(&args[1..]);
+        }
+        "batch" => {
+            return cmd_batch(&args[1..]);
         }
         _ => {}
     }

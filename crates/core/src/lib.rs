@@ -43,9 +43,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod suite;
 pub mod verifier;
 
+pub use batch::{
+    run_batch, BatchJob, BatchOptions, BatchReport, JobFault, JobFaultKind, JobReport, JobStatus,
+};
 pub use homc_budget::{
     Budget, BudgetError, Fault, FaultKind, FaultPlan, FaultSpecError, LimitKind, Phase,
 };
@@ -58,6 +62,8 @@ pub use homc_trace::{
     parse_json, render_report, stable_hash64, validate_line, validate_trace, JsonValue,
     SchemaError, Tracer,
 };
+pub use homc_serve::{seed_cache, DiskCache, DiskFault, LoadReport, PublishReport, RetryPolicy};
+pub use homc_smt::{CancelToken, QueryCache};
 pub use suite::{Expected, SuiteProgram, SUITE};
 pub use verifier::{
     verify, verify_compiled, UnknownReason, Verdict, VerifierOptions, VerifyError, VerifyOutcome,

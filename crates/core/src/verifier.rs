@@ -38,7 +38,9 @@ use homc_hbp::{find_error_path, source_labels};
 use homc_lang::eval::Label;
 use homc_lang::{frontend, Compiled};
 use homc_metrics::{mem, Hist, Metrics};
-use homc_smt::{Budget, BudgetError, FaultPlan, LimitKind, Phase, QueryCache, SmtSolver};
+use homc_smt::{
+    Budget, BudgetError, CancelToken, FaultPlan, LimitKind, Phase, QueryCache, SmtSolver,
+};
 use homc_trace::Tracer;
 
 /// Options controlling the verifier.
@@ -74,6 +76,15 @@ pub struct VerifierOptions {
     /// the registry never writes into the trace stream, so traces are
     /// byte-identical with metrics on or off.
     pub metrics: Metrics,
+    /// Pre-built query cache to verify against (the batch driver passes a
+    /// per-job cache seeded from the disk tier). `None` — the default —
+    /// creates a fresh cache per run. Stats report the run's *delta* over
+    /// the cache's starting counters, so a warm cache never double-counts.
+    pub cache: Option<Arc<QueryCache>>,
+    /// Cooperative cancellation: when fired, the next budget checkpoint in
+    /// any phase stops the run with a `Cancelled` budget error (degrading to
+    /// [`Verdict::Unknown`], like every other exhaustion).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for VerifierOptions {
@@ -89,6 +100,8 @@ impl Default for VerifierOptions {
             faults: FaultPlan::none(),
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
+            cache: None,
+            cancel: None,
         }
     }
 }
@@ -209,6 +222,9 @@ pub struct VerifyStats {
     /// Fourier–Motzkin eliminations skipped because the rational core of a
     /// query was already in the certificate cache.
     pub fm_prefix_hits: u64,
+    /// Cache hits answered by entries seeded from the persistent disk tier
+    /// (0 for cold runs and runs without a disk cache).
+    pub disk_hits: u64,
     /// Model-checker worklist pops (definitions re-searched), summed over
     /// iterations.
     pub worklist_pops: usize,
@@ -422,12 +438,22 @@ pub fn verify_compiled(
 ) -> Result<VerifyOutcome, VerifyError> {
     let start = Instant::now();
     let mut stats = VerifyStats::default();
-    let budget = Arc::new(Budget::new(opts.timeout, opts.fuel, opts.faults.clone()));
+    let mut budget = Budget::new(opts.timeout, opts.fuel, opts.faults.clone());
+    if let Some(token) = &opts.cancel {
+        budget = budget.with_cancel(token.clone());
+    }
+    let budget = Arc::new(budget);
     // One query cache for the whole run: abstraction entailments recur
     // across CEGAR iterations, and interpolation cubes recur across cut
     // points, so the cache is shared by every solver (including the
     // parallel abstraction workers) and never reset between iterations.
-    let cache = Arc::new(QueryCache::new());
+    // The batch driver passes a pre-seeded cache; counters are reported as
+    // deltas over its starting snapshot.
+    let cache = opts
+        .cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(QueryCache::new()));
+    let cache_start = cache.stats();
     let tracer = opts.tracer.clone();
     let metrics = opts.metrics.clone();
     // The memory-accounting windows are per run: the global and per-phase
@@ -573,11 +599,12 @@ pub fn verify_compiled(
     stats.peak_mc_bytes = mem::phase_peak(Phase::Mc);
     stats.peak_feas_bytes = mem::phase_peak(Phase::Feas);
     stats.peak_interp_bytes = mem::phase_peak(Phase::Interp);
-    let cs = cache.stats();
+    let cs = cache.stats().delta(&cache_start);
     stats.smt_queries = cs.lookups() as usize;
     stats.cache_hits = cs.hits();
     stats.cache_misses = cs.misses();
     stats.fm_prefix_hits = cs.rat_hits;
+    stats.disk_hits = cs.disk_hits;
     tracer.emit("verdict", |e| {
         let tag = match &verdict {
             Verdict::Safe => "safe",

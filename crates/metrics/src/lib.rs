@@ -48,14 +48,29 @@ pub enum Counter {
     McRounds,
     /// Definitions abstracted (every definition of every iteration).
     AbsDefs,
+    /// Batch jobs that ran to a verdict (any verdict, including `Unknown`).
+    JobsDone,
+    /// Batch job attempts re-queued after retryable exhaustion.
+    JobsRetried,
+    /// Batch jobs degraded to `Unknown` (panic, exhaustion, cancellation).
+    JobsUnknown,
+    /// Query-cache hits answered from the persistent disk tier.
+    DiskHits,
+    /// Disk-cache records or segments rejected by an integrity check.
+    DiskQuarantine,
 }
 
 /// All counters, in display order.
-pub const COUNTERS: [Counter; 4] = [
+pub const COUNTERS: [Counter; 9] = [
     Counter::SmtSolves,
     Counter::InterpCuts,
     Counter::McRounds,
     Counter::AbsDefs,
+    Counter::JobsDone,
+    Counter::JobsRetried,
+    Counter::JobsUnknown,
+    Counter::DiskHits,
+    Counter::DiskQuarantine,
 ];
 
 impl Counter {
@@ -70,6 +85,11 @@ impl Counter {
             Counter::InterpCuts => "interp_cuts",
             Counter::McRounds => "mc_rounds",
             Counter::AbsDefs => "abs_defs",
+            Counter::JobsDone => "jobs_done",
+            Counter::JobsRetried => "jobs_retried",
+            Counter::JobsUnknown => "jobs_unknown",
+            Counter::DiskHits => "disk_hits",
+            Counter::DiskQuarantine => "disk_quarantine",
         }
     }
 }
@@ -91,10 +111,12 @@ pub enum Hist {
     HbpTerms,
     /// Model-checker worklist batch size at each drain.
     WorklistDepth,
+    /// Wall-clock latency of one batch job attempt, in microseconds.
+    JobUs,
 }
 
 /// All histograms, in display order.
-pub const HISTS: [Hist; 7] = [
+pub const HISTS: [Hist; 8] = [
     Hist::SmtSolveUs,
     Hist::AbsDefUs,
     Hist::IterUs,
@@ -102,6 +124,7 @@ pub const HISTS: [Hist; 7] = [
     Hist::HbpRules,
     Hist::HbpTerms,
     Hist::WorklistDepth,
+    Hist::JobUs,
 ];
 
 impl Hist {
@@ -119,6 +142,7 @@ impl Hist {
             Hist::HbpRules => "hbp_rules",
             Hist::HbpTerms => "hbp_terms",
             Hist::WorklistDepth => "worklist_depth",
+            Hist::JobUs => "job_us",
         }
     }
 }

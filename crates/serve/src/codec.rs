@@ -1,0 +1,512 @@
+//! Exact text serialization of query-cache records.
+//!
+//! The disk tier stores **full canonical keys**, not hashes: a record is only
+//! replayed into a [`QueryCache`](homc_smt::QueryCache) when its key decodes
+//! to a value that is `==` to the in-memory key type, so a hash collision (or
+//! any codec ambiguity) can never answer the wrong query — the worst a bad
+//! record can do is miss. The format is a flat token stream:
+//!
+//! * tokens are separated by single spaces;
+//! * integers are decimal (`i128` range, optional sign);
+//! * strings (variable names) are length-prefixed — `<len>:<bytes>` — so any
+//!   byte sequence round-trips, including spaces and newlines;
+//! * structured values use one-letter prefix tags (`T`/`F`/`a`/`v`/`n`/`&`/`|`
+//!   for formulas, `l`/`e` for relations, `S`/`U`/`K` and `s`/`u`/`k` for
+//!   verdicts) followed by their parts, with explicit child counts.
+//!
+//! Decoding is total: every error path returns [`CodecError`], never panics,
+//! and never allocates proportionally to a corrupted count field (children
+//! are parsed one at a time — a huge count simply runs out of input).
+
+use std::fmt;
+
+use homc_smt::{Atom, CachedSat, CubeSat, Formula, LinExpr, Model, Rel, Var};
+
+/// A malformed record payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    /// What went wrong, with the byte offset where it was noticed.
+    pub detail: String,
+}
+
+impl CodecError {
+    fn new(detail: impl Into<String>, at: usize) -> CodecError {
+        CodecError {
+            detail: format!("{} (at byte {at})", detail.into()),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed cache record: {}", self.detail)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_var(out: &mut String, v: &Var) {
+    let name = v.name();
+    out.push_str(&name.len().to_string());
+    out.push(':');
+    out.push_str(name);
+}
+
+fn put_linexpr(out: &mut String, e: &LinExpr) {
+    out.push_str(&e.constant_part().to_string());
+    let terms: Vec<_> = e.iter().collect();
+    out.push(' ');
+    out.push_str(&terms.len().to_string());
+    for (v, c) in terms {
+        out.push(' ');
+        out.push_str(&c.to_string());
+        out.push(' ');
+        put_var(out, v);
+    }
+}
+
+fn put_atom(out: &mut String, a: &Atom) {
+    out.push(match a.rel() {
+        Rel::Le => 'l',
+        Rel::Eq => 'e',
+    });
+    out.push(' ');
+    put_linexpr(out, a.lhs());
+}
+
+fn put_formula(out: &mut String, f: &Formula) {
+    match f {
+        Formula::True => out.push('T'),
+        Formula::False => out.push('F'),
+        Formula::Atom(a) => {
+            out.push_str("a ");
+            put_atom(out, a);
+        }
+        Formula::BVar(v) => {
+            out.push_str("v ");
+            put_var(out, v);
+        }
+        Formula::Not(g) => {
+            out.push_str("n ");
+            put_formula(out, g);
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            out.push(if matches!(f, Formula::And(_)) { '&' } else { '|' });
+            out.push(' ');
+            out.push_str(&fs.len().to_string());
+            for g in fs {
+                out.push(' ');
+                put_formula(out, g);
+            }
+        }
+    }
+}
+
+fn put_model(out: &mut String, m: &Model) {
+    let ints: Vec<_> = m.ints().collect();
+    let bools: Vec<_> = m.bools().collect();
+    out.push_str(&ints.len().to_string());
+    for (v, n) in ints {
+        out.push(' ');
+        put_var(out, v);
+        out.push(' ');
+        out.push_str(&n.to_string());
+    }
+    out.push(' ');
+    out.push_str(&bools.len().to_string());
+    for (v, b) in bools {
+        out.push(' ');
+        put_var(out, v);
+        out.push(' ');
+        out.push(if b { '1' } else { '0' });
+    }
+}
+
+/// Encodes one `check`-table record (`C <depth> <formula> <verdict>`).
+pub fn encode_check(key: &(Formula, u32), value: &CachedSat) -> String {
+    let mut out = String::from("C ");
+    out.push_str(&key.1.to_string());
+    out.push(' ');
+    put_formula(&mut out, &key.0);
+    out.push(' ');
+    match value {
+        CachedSat::Sat(m) => {
+            out.push_str("S ");
+            put_model(&mut out, m);
+        }
+        CachedSat::Unsat => out.push('U'),
+        CachedSat::Unknown => out.push('K'),
+    }
+    out
+}
+
+/// Encodes one `cube`-table record (`Q <depth> <n> <atom>* <verdict>`).
+pub fn encode_cube(key: &(Vec<Atom>, u32), value: CubeSat) -> String {
+    let mut out = String::from("Q ");
+    out.push_str(&key.1.to_string());
+    out.push(' ');
+    out.push_str(&key.0.len().to_string());
+    for a in &key.0 {
+        out.push(' ');
+        put_atom(&mut out, a);
+    }
+    out.push(' ');
+    out.push(match value {
+        CubeSat::Sat => 's',
+        CubeSat::Unsat => 'u',
+        CubeSat::Unknown => 'k',
+    });
+    out
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Cur<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(s: &'a str) -> Cur<'a> {
+        Cur { s, pos: 0 }
+    }
+
+    fn err(&self, detail: impl Into<String>) -> CodecError {
+        CodecError::new(detail, self.pos)
+    }
+
+    /// Consumes the single-space separator between tokens.
+    fn sep(&mut self) -> Result<(), CodecError> {
+        match self.s.as_bytes().get(self.pos) {
+            Some(b' ') => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err("expected separator")),
+        }
+    }
+
+    /// The next space-delimited token (does not consume the separator).
+    fn tok(&mut self) -> Result<&'a str, CodecError> {
+        let rest = &self.s[self.pos..];
+        if rest.is_empty() {
+            return Err(self.err("unexpected end of record"));
+        }
+        let end = rest.find(' ').unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("empty token"));
+        }
+        let t = &rest[..end];
+        self.pos += end;
+        Ok(t)
+    }
+
+    fn int(&mut self) -> Result<i128, CodecError> {
+        let t = self.tok()?;
+        t.parse::<i128>().map_err(|_| self.err(format!("bad integer {t:?}")))
+    }
+
+    fn count(&mut self) -> Result<usize, CodecError> {
+        let t = self.tok()?;
+        t.parse::<usize>().map_err(|_| self.err(format!("bad count {t:?}")))
+    }
+
+    fn var(&mut self) -> Result<Var, CodecError> {
+        let rest = &self.s[self.pos..];
+        let colon = rest
+            .find(':')
+            .ok_or_else(|| self.err("expected <len>:<name> string"))?;
+        let len: usize = rest[..colon]
+            .parse()
+            .map_err(|_| self.err("bad string length"))?;
+        let start = colon + 1;
+        let name = rest
+            .get(start..start + len)
+            .ok_or_else(|| self.err("string extends past record or splits UTF-8"))?;
+        self.pos += start + len;
+        Ok(Var::new(name))
+    }
+
+    fn linexpr(&mut self) -> Result<LinExpr, CodecError> {
+        let k = self.int()?;
+        self.sep()?;
+        let n = self.count()?;
+        let mut e = LinExpr::constant(k);
+        for _ in 0..n {
+            self.sep()?;
+            let c = self.int()?;
+            self.sep()?;
+            let v = self.var()?;
+            if c == 0 {
+                return Err(self.err("zero coefficient in stored expression"));
+            }
+            e.add_term(c, v);
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Atom, CodecError> {
+        let tag = self.tok()?;
+        self.sep()?;
+        let lhs = self.linexpr()?;
+        // Stored atoms are already canonical, so the normalizing constructors
+        // are the identity on them — and they guarantee a decoded atom is a
+        // well-formed key even if the payload was (checksum-validly) odd.
+        match tag {
+            "l" => Ok(Atom::le0(lhs)),
+            "e" => Ok(Atom::eq0(lhs)),
+            _ => Err(self.err(format!("bad relation tag {tag:?}"))),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, CodecError> {
+        let tag = self.tok()?;
+        match tag {
+            "T" => Ok(Formula::True),
+            "F" => Ok(Formula::False),
+            "a" => {
+                self.sep()?;
+                Ok(Formula::Atom(self.atom()?))
+            }
+            "v" => {
+                self.sep()?;
+                Ok(Formula::BVar(self.var()?))
+            }
+            "n" => {
+                self.sep()?;
+                Ok(Formula::Not(Box::new(self.formula()?)))
+            }
+            "&" | "|" => {
+                self.sep()?;
+                let n = self.count()?;
+                let mut fs = Vec::new();
+                for _ in 0..n {
+                    self.sep()?;
+                    fs.push(self.formula()?);
+                }
+                // Raw variants, not the smart constructors: the key must
+                // round-trip to the exact canonical form that was stored.
+                Ok(if tag == "&" {
+                    Formula::And(fs)
+                } else {
+                    Formula::Or(fs)
+                })
+            }
+            _ => Err(self.err(format!("bad formula tag {tag:?}"))),
+        }
+    }
+
+    fn model(&mut self) -> Result<Model, CodecError> {
+        let mut ints = std::collections::BTreeMap::new();
+        let n = self.count()?;
+        for _ in 0..n {
+            self.sep()?;
+            let v = self.var()?;
+            self.sep()?;
+            ints.insert(v, self.int()?);
+        }
+        self.sep()?;
+        let mut bools = std::collections::BTreeMap::new();
+        let n = self.count()?;
+        for _ in 0..n {
+            self.sep()?;
+            let v = self.var()?;
+            self.sep()?;
+            let b = match self.tok()? {
+                "1" => true,
+                "0" => false,
+                t => return Err(self.err(format!("bad boolean {t:?}"))),
+            };
+            bools.insert(v, b);
+        }
+        Ok(Model::new(ints, bools))
+    }
+
+    fn end(&self) -> Result<(), CodecError> {
+        if self.pos == self.s.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing bytes after record"))
+        }
+    }
+}
+
+/// A decoded record of either persisted table.
+#[derive(Clone, Debug)]
+pub enum Record {
+    /// A `check`-table entry.
+    Check {
+        /// The canonical formula plus branch & bound depth.
+        key: (Formula, u32),
+        /// The memoized verdict.
+        value: CachedSat,
+    },
+    /// A `cube`-table entry.
+    Cube {
+        /// The sorted atom list plus split depth.
+        key: (Vec<Atom>, u32),
+        /// The memoized tri-state.
+        value: CubeSat,
+    },
+}
+
+/// Decodes one record payload (as produced by [`encode_check`] /
+/// [`encode_cube`]).
+pub fn decode_record(payload: &str) -> Result<Record, CodecError> {
+    let mut c = Cur::new(payload);
+    let tag = c.tok()?;
+    match tag {
+        "C" => {
+            c.sep()?;
+            let depth = c
+                .count()?
+                .try_into()
+                .map_err(|_| c.err("depth out of range"))?;
+            c.sep()?;
+            let f = c.formula()?;
+            c.sep()?;
+            let value = match c.tok()? {
+                "S" => {
+                    c.sep()?;
+                    CachedSat::Sat(c.model()?)
+                }
+                "U" => CachedSat::Unsat,
+                "K" => CachedSat::Unknown,
+                t => return Err(c.err(format!("bad verdict tag {t:?}"))),
+            };
+            c.end()?;
+            Ok(Record::Check {
+                key: (f, depth),
+                value,
+            })
+        }
+        "Q" => {
+            c.sep()?;
+            let depth = c
+                .count()?
+                .try_into()
+                .map_err(|_| c.err("depth out of range"))?;
+            c.sep()?;
+            let n = c.count()?;
+            let mut atoms = Vec::new();
+            for _ in 0..n {
+                c.sep()?;
+                atoms.push(c.atom()?);
+            }
+            c.sep()?;
+            let value = match c.tok()? {
+                "s" => CubeSat::Sat,
+                "u" => CubeSat::Unsat,
+                "k" => CubeSat::Unknown,
+                t => return Err(c.err(format!("bad verdict tag {t:?}"))),
+            };
+            c.end()?;
+            Ok(Record::Cube {
+                key: (atoms, depth),
+                value,
+            })
+        }
+        _ => Err(c.err(format!("bad record tag {tag:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn x() -> LinExpr {
+        LinExpr::var("x")
+    }
+
+    fn roundtrip_check(key: (Formula, u32), value: CachedSat) {
+        let payload = encode_check(&key, &value);
+        match decode_record(&payload).expect(&payload) {
+            Record::Check { key: k, value: v } => {
+                assert_eq!(k, key, "{payload}");
+                match (&v, &value) {
+                    (CachedSat::Sat(a), CachedSat::Sat(b)) => assert_eq!(a, b),
+                    (CachedSat::Unsat, CachedSat::Unsat) => {}
+                    (CachedSat::Unknown, CachedSat::Unknown) => {}
+                    other => panic!("verdict changed: {other:?}"),
+                }
+            }
+            r => panic!("wrong table: {r:?}"),
+        }
+    }
+
+    #[test]
+    fn check_records_roundtrip() {
+        let f = Formula::And(vec![
+            Formula::Atom(Atom::le(x() * 3, LinExpr::constant(7))),
+            Formula::Or(vec![
+                Formula::BVar(Var::new("p")),
+                Formula::Not(Box::new(Formula::BVar(Var::new("q")))),
+            ]),
+            Formula::True,
+        ]);
+        roundtrip_check((f.clone(), 48), CachedSat::Unsat);
+        roundtrip_check((f.clone(), 0), CachedSat::Unknown);
+        let m = Model::new(
+            BTreeMap::from([(Var::new("x"), -17i128), (Var::new("y"), i128::MAX)]),
+            BTreeMap::from([(Var::new("p"), true), (Var::new("q"), false)]),
+        );
+        roundtrip_check((f, 48), CachedSat::Sat(m));
+        roundtrip_check((Formula::False, 1), CachedSat::Unsat);
+    }
+
+    #[test]
+    fn hostile_variable_names_roundtrip() {
+        // Spaces, colons, newlines, and multi-byte UTF-8 in names must all
+        // survive the length-prefixed string encoding.
+        for name in ["a b", "x:1", "line\nbreak", "π₁'", "7:", ""] {
+            let f = Formula::BVar(Var::new(name));
+            roundtrip_check((f, 2), CachedSat::Unknown);
+        }
+    }
+
+    #[test]
+    fn cube_records_roundtrip() {
+        let key = (
+            vec![
+                Atom::le(x(), LinExpr::constant(3)),
+                Atom::eq(LinExpr::var("y") - x(), LinExpr::constant(0)),
+            ],
+            24u32,
+        );
+        for v in [CubeSat::Sat, CubeSat::Unsat, CubeSat::Unknown] {
+            let payload = encode_cube(&key, v);
+            match decode_record(&payload).expect(&payload) {
+                Record::Cube { key: k, value } => {
+                    assert_eq!(k, key);
+                    assert_eq!(value, v);
+                }
+                r => panic!("wrong table: {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_payloads_error_cleanly() {
+        let good = encode_check(&(Formula::BVar(Var::new("ok")), 48), &CachedSat::Unsat);
+        // Every prefix truncation must error, never panic.
+        for cut in 0..good.len() {
+            assert!(decode_record(&good[..cut]).is_err(), "prefix {cut}");
+        }
+        // Assorted garbage.
+        for bad in [
+            "",
+            "Z 1 T U",
+            "C x T U",
+            "C 48 T U trailing",
+            "C 48 & 99 T U",             // count larger than the input
+            "C 48 a l 0 1 0 3:ab U",     // zero coefficient
+            "C 48 v 5:ab U",             // string length past the end
+            "Q 24 1 l 0 0 z",            // bad cube verdict
+        ] {
+            assert!(decode_record(bad).is_err(), "{bad:?}");
+        }
+    }
+}

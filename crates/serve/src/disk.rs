@@ -1,0 +1,571 @@
+//! The versioned on-disk tier of the [`QueryCache`].
+//!
+//! # File format
+//!
+//! A cache directory holds append-only **segment files** (`seg-*.seg`), one
+//! published per batch run. A segment is:
+//!
+//! ```text
+//! homc-cache v1\n                          ← magic + schema version
+//! XXXXXXXX YYYYYYYYYYYYYYYY <payload>\n    ← one line per record
+//! ```
+//!
+//! where `XXXXXXXX` is the payload byte length (8 hex digits) and
+//! `YYYYYYYYYYYYYYYY` is the FNV-1a 64 checksum of the payload (16 hex
+//! digits). Payloads are [`codec`](crate::codec) record encodings carrying
+//! **full keys**, so integrity is layered: the checksum rejects any
+//! single-byte flip outright, and even a flip that forged a checksum could
+//! only produce a record whose key no live query matches, or a decode error —
+//! never a wrong answer to a real query.
+//!
+//! # Failure policy
+//!
+//! * **Bad magic** — the file is not a cache segment: quarantined.
+//! * **Version mismatch** — a valid segment from another schema: removed
+//!   (clean cold start; the cache is rebuildable by construction).
+//! * **Checksum or decode failure** — the record is skipped, counted, and the
+//!   segment is quarantined after the scan (later runs start cold on it).
+//! * **Framing failure** (bad length field, truncation, torn tail) — the scan
+//!   cannot resync, so the remainder is dropped and the segment quarantined.
+//!
+//! Quarantine = rename to `<name>.quarantined`, so evidence survives for
+//! inspection but the loader never parses the file again. Every rejection
+//! bumps [`Counter::DiskQuarantine`]. Publication composes the whole segment
+//! in memory, writes it to a dot-prefixed temp file, fsyncs, and `rename`s —
+//! readers never observe a half-written segment under a `seg-*.seg` name.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use homc_metrics::{Counter, Metrics};
+use homc_smt::QueryCache;
+use homc_trace::stable_hash64;
+
+use crate::codec::{decode_record, encode_check, encode_cube, Record};
+
+/// First bytes of every segment file.
+pub const MAGIC: &str = "homc-cache";
+/// Schema version of the record payloads; bump on any codec change.
+pub const VERSION: u32 = 1;
+
+/// A deterministic fault to apply while publishing a segment (the disk
+/// half of the `--inject` plan: torn writes, truncation, checksum flips).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Keep only the first `keep_bytes` bytes of the segment (a torn write
+    /// that still got published).
+    Torn {
+        /// Bytes of the composed segment to keep.
+        keep_bytes: u64,
+    },
+    /// Keep the header and only the first `keep_records` records.
+    Truncate {
+        /// Records to keep.
+        keep_records: usize,
+    },
+    /// Overwrite one hex digit of record `record`'s checksum field.
+    FlipChecksum {
+        /// Zero-based record index.
+        record: usize,
+    },
+    /// XOR the byte at `offset` with `0x01` after composing the segment.
+    FlipByte {
+        /// Byte offset into the segment file.
+        offset: u64,
+    },
+}
+
+impl FromStr for DiskFault {
+    type Err = String;
+
+    /// Parses `torn:<bytes>`, `trunc:<records>`, `flipsum:<record>`, or
+    /// `flip:<offset>`.
+    fn from_str(s: &str) -> Result<DiskFault, String> {
+        let (kind, arg) = s
+            .split_once(':')
+            .ok_or_else(|| format!("bad disk fault {s:?}: expected kind:<n>"))?;
+        let n: u64 = arg
+            .parse()
+            .map_err(|_| format!("bad disk fault {s:?}: {arg:?} is not a number"))?;
+        match kind {
+            "torn" => Ok(DiskFault::Torn { keep_bytes: n }),
+            "trunc" => Ok(DiskFault::Truncate {
+                keep_records: n as usize,
+            }),
+            "flipsum" => Ok(DiskFault::FlipChecksum {
+                record: n as usize,
+            }),
+            "flip" => Ok(DiskFault::FlipByte { offset: n }),
+            _ => Err(format!(
+                "bad disk fault {s:?}: kind must be torn|trunc|flipsum|flip"
+            )),
+        }
+    }
+}
+
+/// What [`DiskCache::load_into`] found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Segment files scanned (including rejected ones).
+    pub segments: usize,
+    /// Records replayed into the in-memory cache.
+    pub records: usize,
+    /// Records rejected by checksum, framing, or decode.
+    pub bad_records: usize,
+    /// Segments renamed to `.quarantined`.
+    pub quarantined: usize,
+    /// Segments from another schema version, removed (clean cold start).
+    pub stale: usize,
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} records from {} segments ({} bad, {} quarantined, {} stale)",
+            self.records, self.segments, self.bad_records, self.quarantined, self.stale
+        )
+    }
+}
+
+/// What [`DiskCache::publish`] wrote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PublishReport {
+    /// Final path of the published segment.
+    pub path: PathBuf,
+    /// Records written.
+    pub records: usize,
+    /// Segment size in bytes (after any injected fault).
+    pub bytes: u64,
+}
+
+/// Handle to one on-disk cache directory.
+#[derive(Clone, Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    fault: Option<DiskFault>,
+    metrics: Metrics,
+}
+
+impl DiskCache {
+    /// A cache rooted at `dir` (created on first publish).
+    pub fn new(dir: impl Into<PathBuf>) -> DiskCache {
+        DiskCache {
+            dir: dir.into(),
+            fault: None,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Applies a deterministic fault to the next publication.
+    pub fn with_fault(mut self, fault: Option<DiskFault>) -> DiskCache {
+        self.fault = fault;
+        self
+    }
+
+    /// Attaches a metrics registry ([`Counter::DiskQuarantine`] etc.).
+    pub fn with_metrics(mut self, metrics: Metrics) -> DiskCache {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Segment paths in deterministic (name) order.
+    fn segments(&self) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("seg-") && name.ends_with(".seg") {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Reads every valid record of every valid segment. Never fails on file
+    /// *content* — only on directory I/O errors; unreadable or corrupt
+    /// segments are quarantined and counted. The records can seed any number
+    /// of per-job caches via [`seed_cache`].
+    pub fn load(&self) -> io::Result<(Vec<Record>, LoadReport)> {
+        let mut report = LoadReport::default();
+        let mut records = Vec::new();
+        for path in self.segments()? {
+            report.segments += 1;
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(_) => {
+                    self.quarantine(&path, &mut report);
+                    continue;
+                }
+            };
+            match self.scan_segment(&bytes, &mut records, &mut report) {
+                SegmentVerdict::Clean => {}
+                SegmentVerdict::Quarantine => self.quarantine(&path, &mut report),
+                SegmentVerdict::Stale => {
+                    // Another schema version: a clean cold start, not an
+                    // integrity event. The segment can never be read again,
+                    // so reclaim it.
+                    let _ = fs::remove_file(&path);
+                    report.stale += 1;
+                }
+            }
+        }
+        Ok((records, report))
+    }
+
+    /// [`load`](Self::load) + [`seed_cache`] in one call, for single-cache
+    /// users.
+    pub fn load_into(&self, cache: &QueryCache) -> io::Result<LoadReport> {
+        let (records, report) = self.load()?;
+        seed_cache(cache, &records);
+        Ok(report)
+    }
+
+    fn quarantine(&self, path: &Path, report: &mut LoadReport) {
+        let mut q = path.as_os_str().to_owned();
+        q.push(".quarantined");
+        let _ = fs::rename(path, PathBuf::from(q));
+        report.quarantined += 1;
+        self.metrics.incr(Counter::DiskQuarantine);
+    }
+
+    /// Scans one segment's bytes, collecting good records.
+    fn scan_segment(
+        &self,
+        bytes: &[u8],
+        records: &mut Vec<Record>,
+        report: &mut LoadReport,
+    ) -> SegmentVerdict {
+        let header_end = match bytes.iter().position(|&b| b == b'\n') {
+            Some(i) => i,
+            None => return SegmentVerdict::Quarantine,
+        };
+        let header = match std::str::from_utf8(&bytes[..header_end]) {
+            Ok(h) => h,
+            Err(_) => return SegmentVerdict::Quarantine,
+        };
+        let Some(version) = header.strip_prefix(MAGIC).and_then(|r| r.strip_prefix(" v"))
+        else {
+            return SegmentVerdict::Quarantine;
+        };
+        match version.parse::<u32>() {
+            Ok(v) if v == VERSION => {}
+            Ok(_) => return SegmentVerdict::Stale,
+            Err(_) => return SegmentVerdict::Quarantine,
+        }
+        let mut pos = header_end + 1;
+        let mut verdict = SegmentVerdict::Clean;
+        while pos < bytes.len() {
+            // Frame: 8 hex len, space, 16 hex sum, space, payload, newline.
+            let Some(frame) = parse_frame(&bytes[pos..]) else {
+                report.bad_records += 1;
+                self.metrics.incr(Counter::DiskQuarantine);
+                return SegmentVerdict::Quarantine; // cannot resync
+            };
+            pos += frame.consumed;
+            if stable_hash64(frame.payload) != frame.sum {
+                report.bad_records += 1;
+                self.metrics.incr(Counter::DiskQuarantine);
+                verdict = SegmentVerdict::Quarantine;
+                continue; // framing is intact; keep scanning
+            }
+            match decode_record(frame.payload) {
+                Ok(r) => {
+                    records.push(r);
+                    report.records += 1;
+                }
+                Err(_) => {
+                    report.bad_records += 1;
+                    self.metrics.incr(Counter::DiskQuarantine);
+                    verdict = SegmentVerdict::Quarantine;
+                }
+            }
+        }
+        verdict
+    }
+
+    /// Publishes every entry the run discovered (seeded entries excluded) as
+    /// one new segment. Returns `None` when there is nothing new to write.
+    pub fn publish(&self, cache: &QueryCache) -> io::Result<Option<PublishReport>> {
+        let mut payloads: Vec<String> = cache
+            .export_new_check()
+            .iter()
+            .map(|(k, v)| encode_check(k, v))
+            .chain(
+                cache
+                    .export_new_cubes()
+                    .iter()
+                    .map(|(k, v)| encode_cube(k, *v)),
+            )
+            .collect();
+        if payloads.is_empty() {
+            return Ok(None);
+        }
+        // Table iteration order is nondeterministic; the file must not be.
+        payloads.sort();
+        payloads.dedup();
+        let records = payloads.len();
+
+        let mut bytes = format!("{MAGIC} v{VERSION}\n").into_bytes();
+        let mut kept = 0usize;
+        let mut record_offsets = Vec::with_capacity(records);
+        for p in &payloads {
+            record_offsets.push(bytes.len());
+            bytes.extend_from_slice(
+                format!("{:08x} {:016x} {p}\n", p.len(), stable_hash64(p)).as_bytes(),
+            );
+            kept += 1;
+            if let Some(DiskFault::Truncate { keep_records }) = self.fault {
+                if kept >= keep_records {
+                    break;
+                }
+            }
+        }
+        match self.fault {
+            Some(DiskFault::Torn { keep_bytes }) => {
+                bytes.truncate(keep_bytes as usize);
+            }
+            Some(DiskFault::FlipByte { offset }) => {
+                if let Some(b) = bytes.get_mut(offset as usize) {
+                    *b ^= 0x01;
+                }
+            }
+            Some(DiskFault::FlipChecksum { record }) => {
+                // The checksum field starts 9 bytes into the record line
+                // (8 hex digits of length plus one space).
+                if let Some(&off) = record_offsets.get(record) {
+                    if let Some(b) = bytes.get_mut(off + 9) {
+                        *b = if *b == b'0' { b'1' } else { b'0' };
+                    }
+                }
+            }
+            Some(DiskFault::Truncate { .. }) | None => {}
+        }
+
+        fs::create_dir_all(&self.dir)?;
+        let seq = 1 + self
+            .segments()?
+            .iter()
+            .filter_map(|p| {
+                p.file_stem()?
+                    .to_str()?
+                    .strip_prefix("seg-")?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .max()
+            .unwrap_or(0);
+        let final_path = self.dir.join(format!("seg-{seq:06}.seg"));
+        let tmp_path = self.dir.join(format!(".tmp-seg-{seq:06}"));
+        let len = bytes.len() as u64;
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(Some(PublishReport {
+            path: final_path,
+            records,
+            bytes: len,
+        }))
+    }
+}
+
+enum SegmentVerdict {
+    Clean,
+    Quarantine,
+    Stale,
+}
+
+struct Frame<'a> {
+    payload: &'a str,
+    sum: u64,
+    consumed: usize,
+}
+
+/// Parses one record frame from the head of `rest`; `None` on any framing
+/// violation (short input, bad hex, missing separators or newline, length
+/// running past the end, non-UTF-8 payload).
+fn parse_frame(rest: &[u8]) -> Option<Frame<'_>> {
+    if rest.len() < 8 + 1 + 16 + 1 {
+        return None;
+    }
+    let len = parse_hex(&rest[0..8])? as usize;
+    if rest[8] != b' ' || rest[25] != b' ' {
+        return None;
+    }
+    let sum = parse_hex(&rest[9..25])?;
+    let start = 26usize;
+    let end = start.checked_add(len)?;
+    if end >= rest.len() || rest[end] != b'\n' {
+        return None;
+    }
+    let payload = std::str::from_utf8(&rest[start..end]).ok()?;
+    Some(Frame {
+        payload,
+        sum,
+        consumed: end + 1,
+    })
+}
+
+/// Replays loaded disk records into a cache via the seeded stores, so they
+/// count as disk hits on lookup and are excluded from the next publish.
+pub fn seed_cache(cache: &QueryCache, records: &[Record]) {
+    for r in records {
+        match r {
+            Record::Check { key, value } => cache.store_check_seeded(key.clone(), value.clone()),
+            Record::Cube { key, value } => cache.store_cube_seeded(key.clone(), *value),
+        }
+    }
+}
+
+fn parse_hex(digits: &[u8]) -> Option<u64> {
+    let mut v: u64 = 0;
+    for &d in digits {
+        let nib = match d {
+            b'0'..=b'9' => d - b'0',
+            b'a'..=b'f' => d - b'a' + 10,
+            _ => return None,
+        };
+        v = v.checked_mul(16)?.checked_add(nib as u64)?;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homc_smt::{Atom, CachedSat, CubeSat, Formula, LinExpr};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "homc-serve-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn warm_cache() -> QueryCache {
+        let c = QueryCache::new();
+        c.store_check(
+            (Formula::Atom(Atom::le(LinExpr::var("x"), LinExpr::constant(3))), 48),
+            CachedSat::Unsat,
+        );
+        c.store_check((Formula::True, 48), CachedSat::Unknown);
+        c.store_cube(
+            (vec![Atom::le(LinExpr::var("y"), LinExpr::constant(0))], 24),
+            CubeSat::Sat,
+        );
+        c
+    }
+
+    #[test]
+    fn publish_then_load_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let disk = DiskCache::new(&dir);
+        let report = disk.publish(&warm_cache()).unwrap().expect("records");
+        assert_eq!(report.records, 3);
+
+        let fresh = QueryCache::new();
+        let load = disk.load_into(&fresh).unwrap();
+        assert_eq!(load.records, 3);
+        assert_eq!(load.bad_records, 0);
+        assert_eq!(load.quarantined, 0);
+        assert!(matches!(
+            fresh.lookup_check(&(Formula::True, 48)),
+            Some(CachedSat::Unknown)
+        ));
+        assert_eq!(fresh.stats().disk_hits, 1);
+        // Replayed entries are seeded: republication has nothing new.
+        assert!(disk.publish(&fresh).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_cold_starts() {
+        let dir = tmpdir("version");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("seg-000001.seg"), "homc-cache v999\ngarbage").unwrap();
+        let disk = DiskCache::new(&dir);
+        let fresh = QueryCache::new();
+        let load = disk.load_into(&fresh).unwrap();
+        assert_eq!(load.stale, 1);
+        assert_eq!(load.records, 0);
+        assert_eq!(load.quarantined, 0);
+        assert!(!dir.join("seg-000001.seg").exists(), "stale segment removed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_quarantines() {
+        let dir = tmpdir("magic");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("seg-000001.seg"), "not a cache\n").unwrap();
+        let metrics = Metrics::new(true);
+        let disk = DiskCache::new(&dir).with_metrics(metrics.clone());
+        let load = disk.load_into(&QueryCache::new()).unwrap();
+        assert_eq!(load.quarantined, 1);
+        assert!(dir.join("seg-000001.seg.quarantined").exists());
+        assert_eq!(metrics.snapshot().counter(Counter::DiskQuarantine), 1);
+        // The quarantined file is never rescanned.
+        let load2 = disk.load_into(&QueryCache::new()).unwrap();
+        assert_eq!(load2.segments, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_fault_quarantines_tail() {
+        let dir = tmpdir("torn");
+        let disk = DiskCache::new(&dir).with_fault(Some(DiskFault::Torn { keep_bytes: 40 }));
+        disk.publish(&warm_cache()).unwrap().expect("records");
+        let fresh = QueryCache::new();
+        let load = DiskCache::new(&dir).load_into(&fresh).unwrap();
+        assert_eq!(load.quarantined, 1);
+        assert_eq!(load.records, 0, "40 bytes is inside the first record");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_flip_fault_skips_record_keeps_rest() {
+        let dir = tmpdir("flipsum");
+        let disk = DiskCache::new(&dir).with_fault(Some(DiskFault::FlipChecksum { record: 0 }));
+        let report = disk.publish(&warm_cache()).unwrap().expect("records");
+        assert_eq!(report.records, 3);
+        let fresh = QueryCache::new();
+        let load = DiskCache::new(&dir).load_into(&fresh).unwrap();
+        assert_eq!(load.bad_records, 1);
+        assert_eq!(load.records, 2, "later records survive a mid-file flip");
+        assert_eq!(load.quarantined, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_fault_parser() {
+        assert_eq!("torn:7".parse(), Ok(DiskFault::Torn { keep_bytes: 7 }));
+        assert_eq!("trunc:2".parse(), Ok(DiskFault::Truncate { keep_records: 2 }));
+        assert_eq!(
+            "flipsum:0".parse(),
+            Ok(DiskFault::FlipChecksum { record: 0 })
+        );
+        assert_eq!("flip:33".parse(), Ok(DiskFault::FlipByte { offset: 33 }));
+        assert!("nope:1".parse::<DiskFault>().is_err());
+        assert!("torn".parse::<DiskFault>().is_err());
+        assert!("torn:x".parse::<DiskFault>().is_err());
+    }
+}

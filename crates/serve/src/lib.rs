@@ -1,0 +1,36 @@
+//! `homc-serve`: the crash-safe serving layer of the homc pipeline.
+//!
+//! Two subsystems, both generic over what is being verified (the
+//! verification-specific batch driver lives in the `homc` crate, which
+//! depends on this one):
+//!
+//! * **A work-stealing job pool** ([`mod@pool`]): runs many jobs
+//!   concurrently, each under its own cooperative [`CancelToken`] (typically
+//!   wired into a `homc-budget` deadline/fuel scope), with panic trapping,
+//!   one bounded retry with exponential backoff on retryable exhaustion, and
+//!   an optional watchdog. Every submitted job yields exactly one structured
+//!   [`JobResult`] — a failed or hung job degrades to a report entry, never
+//!   a process abort.
+//! * **A versioned disk tier for the query cache** ([`mod@disk`]):
+//!   append-only segment files with per-record length+FNV-1a-checksum
+//!   framing, atomic tmp-file+rename publication, a schema/version header
+//!   that cold-starts cleanly on mismatch, and a corruption-quarantine path.
+//!   Records carry **full canonical keys** ([`mod@codec`]), so a byte flip
+//!   can cost a cache hit but can never change a verdict.
+//!
+//! Deterministic fault injection covers the new failure surfaces: torn
+//! writes, truncated segments, checksum flips ([`DiskFault`]), job-thread
+//! panics and cancellation races (injected by the batch driver through the
+//! job body). See DESIGN.md §"Serving & persistence architecture".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod disk;
+pub mod pool;
+
+pub use codec::{decode_record, encode_check, encode_cube, CodecError, Record};
+pub use disk::{seed_cache, DiskCache, DiskFault, LoadReport, PublishReport, MAGIC, VERSION};
+pub use homc_budget::CancelToken;
+pub use pool::{run_jobs, Attempt, Job, JobOutcome, JobResult, PoolConfig, RetryPolicy};

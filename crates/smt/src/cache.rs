@@ -34,7 +34,7 @@
 //! ([`SatResult::Exhausted`](crate::SatResult::Exhausted)) are never cached:
 //! a result that depends on the clock must not masquerade as a semantic one.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -102,6 +102,9 @@ pub struct CacheStats {
     pub rat_hits: u64,
     /// `rat`-table misses.
     pub rat_misses: u64,
+    /// Hits on entries *seeded* from the persistent disk tier (a subset of
+    /// the per-table hits above — every disk hit is also a table hit).
+    pub disk_hits: u64,
 }
 
 impl CacheStats {
@@ -119,18 +122,59 @@ impl CacheStats {
     pub fn lookups(&self) -> u64 {
         self.hits() + self.misses()
     }
+
+    /// Field-wise `self - earlier` (saturating). Lets a caller that shares
+    /// one cache across several runs (the batch driver, warm bench reruns)
+    /// report per-run counters instead of cumulative ones.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            check_hits: self.check_hits.saturating_sub(earlier.check_hits),
+            check_misses: self.check_misses.saturating_sub(earlier.check_misses),
+            cube_hits: self.cube_hits.saturating_sub(earlier.cube_hits),
+            cube_misses: self.cube_misses.saturating_sub(earlier.cube_misses),
+            interp_hits: self.interp_hits.saturating_sub(earlier.interp_hits),
+            interp_misses: self.interp_misses.saturating_sub(earlier.interp_misses),
+            rat_hits: self.rat_hits.saturating_sub(earlier.rat_hits),
+            rat_misses: self.rat_misses.saturating_sub(earlier.rat_misses),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
+        }
+    }
 }
 
 /// Key of the interpolant table: both cubes sorted, plus the split depth.
 type InterpKey = (Vec<Literal>, Vec<Literal>, u32);
 
 /// The shared query cache. See the module docs for the design.
+///
+/// # Disk seeding
+///
+/// The serving layer's persistent tier pre-warms a fresh cache by replaying
+/// validated disk records through [`store_check_seeded`](Self::store_check_seeded)
+/// / [`store_cube_seeded`](Self::store_cube_seeded). Seeded keys are tracked
+/// so that (a) hits on them count in `disk_hits` (the warm-latency telemetry)
+/// and (b) [`export_new_check`](Self::export_new_check) /
+/// [`export_new_cubes`](Self::export_new_cubes) return only entries this run
+/// discovered — segment publication stays append-only and never rewrites
+/// records already on disk.
+///
+/// # The checkpoint-before-lookup invariant
+///
+/// `--inject smt:n` schedules identify a query by its *checkpoint index*, so
+/// the budget checkpoint must run **before** any `check`-table lookup —
+/// otherwise a warm cache would renumber the schedule and fault drills would
+/// stop reproducing. The solver reports each checkpoint via
+/// [`note_smt_checkpoint`](Self::note_smt_checkpoint);
+/// [`lookup_check`](Self::lookup_check) `debug_assert!`s that it was
+/// preceded by one. Direct cache use (unit tests, tools) that never notes a
+/// checkpoint keeps the guard dormant.
 #[derive(Debug, Default)]
 pub struct QueryCache {
     check: Mutex<HashMap<(Formula, u32), CachedSat>>,
     cubes: Mutex<HashMap<(Vec<Atom>, u32), CubeSat>>,
     interp: Mutex<HashMap<InterpKey, Option<Formula>>>,
     rat: Mutex<HashMap<Vec<Atom>, CachedRat>>,
+    seeded_check: Mutex<HashSet<(Formula, u32)>>,
+    seeded_cubes: Mutex<HashSet<(Vec<Atom>, u32)>>,
     check_hits: AtomicU64,
     check_misses: AtomicU64,
     cube_hits: AtomicU64,
@@ -139,6 +183,9 @@ pub struct QueryCache {
     interp_misses: AtomicU64,
     rat_hits: AtomicU64,
     rat_misses: AtomicU64,
+    disk_hits: AtomicU64,
+    smt_checkpoints: AtomicU64,
+    guarded_lookups: AtomicU64,
 }
 
 impl QueryCache {
@@ -158,7 +205,36 @@ impl QueryCache {
             interp_misses: self.interp_misses.load(Ordering::Relaxed),
             rat_hits: self.rat_hits.load(Ordering::Relaxed),
             rat_misses: self.rat_misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records that the solver passed a [`Phase::Smt`](homc_budget::Phase)
+    /// budget checkpoint. Arms the checkpoint-before-lookup guard (see the
+    /// type docs); called by `SmtSolver::check` after a successful
+    /// checkpoint, immediately before the `check`-table lookup.
+    pub fn note_smt_checkpoint(&self) {
+        self.smt_checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The checkpoint-before-lookup invariant, as a debug assertion. Every
+    /// guarded lookup must be preceded by its own checkpoint note, so the
+    /// note count can never fall behind the lookup count — on any thread
+    /// interleaving — unless some code path looked up without checkpointing
+    /// first (which would renumber `--inject smt:n` schedules on warm
+    /// caches).
+    fn guard_check_lookup(&self) {
+        let notes = self.smt_checkpoints.load(Ordering::Relaxed);
+        if notes == 0 {
+            return; // guard dormant: direct cache use without a budget
+        }
+        let lookups = self.guarded_lookups.fetch_add(1, Ordering::Relaxed) + 1;
+        debug_assert!(
+            lookups <= notes,
+            "QueryCache invariant violated: check-table lookup without a \
+             preceding budget checkpoint (lookup #{lookups} vs {notes} \
+             checkpoints) — this breaks --inject schedule determinism"
+        );
     }
 
     fn count(&self, hit_ctr: &AtomicU64, miss_ctr: &AtomicU64, hit: bool) {
@@ -171,8 +247,12 @@ impl QueryCache {
 
     /// Looks up a full `check` result by canonical formula and depth.
     pub fn lookup_check(&self, key: &(Formula, u32)) -> Option<CachedSat> {
+        self.guard_check_lookup();
         let found = self.check.lock().expect("cache poisoned").get(key).cloned();
         self.count(&self.check_hits, &self.check_misses, found.is_some());
+        if found.is_some() && self.seeded_check.lock().expect("cache poisoned").contains(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        }
         found
     }
 
@@ -181,16 +261,66 @@ impl QueryCache {
         self.check.lock().expect("cache poisoned").insert(key, value);
     }
 
+    /// Stores a `check` result replayed from the persistent disk tier.
+    /// Seeded keys count hits in [`CacheStats::disk_hits`] and are excluded
+    /// from [`export_new_check`](Self::export_new_check).
+    pub fn store_check_seeded(&self, key: (Formula, u32), value: CachedSat) {
+        self.seeded_check
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.clone());
+        self.check.lock().expect("cache poisoned").insert(key, value);
+    }
+
+    /// The `check`-table entries this run discovered itself (seeded entries
+    /// excluded), for append-only segment publication.
+    pub fn export_new_check(&self) -> Vec<((Formula, u32), CachedSat)> {
+        let seeded = self.seeded_check.lock().expect("cache poisoned");
+        self.check
+            .lock()
+            .expect("cache poisoned")
+            .iter()
+            .filter(|(k, _)| !seeded.contains(*k))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// Looks up a cube consistency tri-state. `atoms` must be sorted.
     pub fn lookup_cube(&self, key: &(Vec<Atom>, u32)) -> Option<CubeSat> {
         let found = self.cubes.lock().expect("cache poisoned").get(key).copied();
         self.count(&self.cube_hits, &self.cube_misses, found.is_some());
+        if found.is_some() && self.seeded_cubes.lock().expect("cache poisoned").contains(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        }
         found
     }
 
     /// Stores a cube consistency tri-state.
     pub fn store_cube(&self, key: (Vec<Atom>, u32), value: CubeSat) {
         self.cubes.lock().expect("cache poisoned").insert(key, value);
+    }
+
+    /// Stores a cube tri-state replayed from the persistent disk tier (see
+    /// [`store_check_seeded`](Self::store_check_seeded)).
+    pub fn store_cube_seeded(&self, key: (Vec<Atom>, u32), value: CubeSat) {
+        self.seeded_cubes
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.clone());
+        self.cubes.lock().expect("cache poisoned").insert(key, value);
+    }
+
+    /// The `cube`-table entries this run discovered itself (seeded entries
+    /// excluded), for append-only segment publication.
+    pub fn export_new_cubes(&self) -> Vec<((Vec<Atom>, u32), CubeSat)> {
+        let seeded = self.seeded_cubes.lock().expect("cache poisoned");
+        self.cubes
+            .lock()
+            .expect("cache poisoned")
+            .iter()
+            .filter(|(k, _)| !seeded.contains(*k))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
     }
 
     /// Looks up a cube-pair interpolant (`None` inside the `Option` =
@@ -254,6 +384,76 @@ mod tests {
         assert_eq!((s.rat_hits, s.rat_misses), (1, 1));
         assert_eq!((s.check_hits, s.check_misses), (0, 0));
         assert_eq!(s.lookups(), 4);
+    }
+
+    #[test]
+    fn seeded_hits_count_as_disk_hits() {
+        let c = QueryCache::new();
+        let seeded_key = (Formula::True, 48u32);
+        let own_key = (Formula::False, 48u32);
+        c.store_check_seeded(seeded_key.clone(), CachedSat::Unsat);
+        c.store_check(own_key.clone(), CachedSat::Unsat);
+        assert!(c.lookup_check(&seeded_key).is_some());
+        assert!(c.lookup_check(&own_key).is_some());
+        let cube_key = (vec![Atom::le0(LinExpr::var("x"))], 24u32);
+        c.store_cube_seeded(cube_key.clone(), CubeSat::Unsat);
+        assert_eq!(c.lookup_cube(&cube_key), Some(CubeSat::Unsat));
+        let s = c.stats();
+        assert_eq!(s.disk_hits, 2); // seeded check + seeded cube, not own_key
+        assert_eq!(s.hits(), 3);
+    }
+
+    #[test]
+    fn export_excludes_seeded_entries() {
+        let c = QueryCache::new();
+        c.store_check_seeded((Formula::True, 48), CachedSat::Unsat);
+        c.store_check((Formula::False, 48), CachedSat::Unknown);
+        let new_check = c.export_new_check();
+        assert_eq!(new_check.len(), 1);
+        assert_eq!(new_check[0].0, (Formula::False, 48));
+        let seeded_cube = (vec![Atom::le0(LinExpr::var("x"))], 24u32);
+        let own_cube = (vec![Atom::le0(LinExpr::var("y"))], 24u32);
+        c.store_cube_seeded(seeded_cube, CubeSat::Sat);
+        c.store_cube(own_cube.clone(), CubeSat::Unsat);
+        let new_cubes = c.export_new_cubes();
+        assert_eq!(new_cubes.len(), 1);
+        assert_eq!(new_cubes[0].0, own_cube);
+    }
+
+    #[test]
+    fn stats_delta_subtracts_fieldwise() {
+        let c = QueryCache::new();
+        let key = (Formula::True, 48u32);
+        assert!(c.lookup_check(&key).is_none());
+        let earlier = c.stats();
+        c.store_check(key.clone(), CachedSat::Unsat);
+        assert!(c.lookup_check(&key).is_some());
+        let d = c.stats().delta(&earlier);
+        assert_eq!((d.check_hits, d.check_misses), (1, 0));
+        assert_eq!(d.lookups(), 1);
+    }
+
+    #[test]
+    fn balanced_checkpoints_keep_guard_quiet() {
+        let c = QueryCache::new();
+        let key = (Formula::True, 48u32);
+        for _ in 0..3 {
+            c.note_smt_checkpoint();
+            let _ = c.lookup_check(&key);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "without a preceding budget checkpoint")]
+    fn unguarded_lookup_trips_the_invariant() {
+        let c = QueryCache::new();
+        let key = (Formula::True, 48u32);
+        c.note_smt_checkpoint();
+        let _ = c.lookup_check(&key);
+        // Second lookup with no second checkpoint: the exact bug the guard
+        // exists to catch (a cache tier answering before the budget runs).
+        let _ = c.lookup_check(&key);
     }
 
     #[test]

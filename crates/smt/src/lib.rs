@@ -52,7 +52,7 @@ pub use fm::{
     RatResult,
 };
 pub use formula::{Formula, Literal};
-pub use homc_budget::{Budget, BudgetError, FaultKind, FaultPlan, LimitKind, Phase};
+pub use homc_budget::{Budget, BudgetError, CancelToken, FaultKind, FaultPlan, LimitKind, Phase};
 pub use interp::{
     cube_consistency, cube_literals, interpolate, interpolate_budgeted,
     interpolate_budgeted_cached, interpolate_sequence, interpolate_with, is_interpolant,

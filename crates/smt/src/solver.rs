@@ -43,6 +43,16 @@ impl Model {
         self.bools.get(v).copied().unwrap_or(false)
     }
 
+    /// Iterates the explicit integer assignments (sorted by variable).
+    pub fn ints(&self) -> impl Iterator<Item = (&Var, i128)> {
+        self.ints.iter().map(|(v, n)| (v, *n))
+    }
+
+    /// Iterates the explicit boolean assignments (sorted by variable).
+    pub fn bools(&self) -> impl Iterator<Item = (&Var, bool)> {
+        self.bools.iter().map(|(v, b)| (v, *b))
+    }
+
     /// Evaluates a formula under this model (unbound variables default).
     pub fn eval(&self, f: &Formula) -> bool {
         f.eval(&|v| Some(self.int(v)), &|v| Some(self.bool(v)))
@@ -200,6 +210,11 @@ impl SmtSolver {
         let Some(cache) = &self.cache else {
             return self.solve_traced(f, None);
         };
+        // Arm the checkpoint-before-lookup guard: the checkpoint above must
+        // precede every check-table lookup (see `QueryCache` docs).
+        if self.budget.is_some() {
+            cache.note_smt_checkpoint();
+        }
         // Keyed by canonical form so permuted/duplicated conjuncts collide;
         // the verdict class (Sat/Unsat/Unknown) is invariant under child
         // reordering, so solving the original formula and storing under the

@@ -51,17 +51,79 @@ PROFILE_SMOKE=target/profile-smoke.folded
 run cargo run --release --offline --bin homc -- profile --suite intro1 -o "$PROFILE_SMOKE"
 test -s "$PROFILE_SMOKE"
 
+# Batch smoke: the crash-safe fleet path end to end. A cold `homc batch`
+# run populates the persistent cache; a warm rerun must (a) answer queries
+# from disk (nonzero disk hits) and (b) reproduce the cold run's verdicts
+# exactly. Then a deterministic two-byte payload corruption (dd at a fixed
+# offset inside the first record) must be quarantined while the verdicts
+# still hold — a byte flip may cost cache hits, never correctness.
+BATCH_CACHE=target/batch-cache
+BATCH_COLD=target/batch-cold.txt
+BATCH_WARM=target/batch-warm.txt
+BATCH_DRILL=target/batch-drill.txt
+BATCH_PROGRAMS=(sum max mult mc91)
+rm -rf "$BATCH_CACHE"
+run cargo run --release --offline --bin homc -- batch --workers 4 \
+    --cache-dir "$BATCH_CACHE" "${BATCH_PROGRAMS[@]}" | tee "$BATCH_COLD"
+run cargo run --release --offline --bin homc -- batch --workers 4 \
+    --cache-dir "$BATCH_CACHE" "${BATCH_PROGRAMS[@]}" | tee "$BATCH_WARM"
+verdicts() { sed -n 's/^\([a-zA-Z0-9_-]*\) *wall=[0-9.]* -> \(.*\)$/\1 \2/p' "$1"; }
+HITS=$(sed -n 's/.*disk hits \([0-9]*\).*/\1/p' "$BATCH_WARM")
+if [ "${HITS:-0}" -eq 0 ]; then
+    echo "tier1: batch-smoke: warm rerun reported no disk-cache hits" >&2
+    exit 1
+fi
+if ! cmp -s <(verdicts "$BATCH_COLD") <(verdicts "$BATCH_WARM"); then
+    echo "tier1: batch-smoke: warm rerun flipped a verdict:" >&2
+    diff <(verdicts "$BATCH_COLD") <(verdicts "$BATCH_WARM") >&2 || true
+    exit 1
+fi
+# Header is `homc-cache v1\n` (14 bytes), a record's payload starts 26
+# bytes in: offset 40 lands inside the first record's payload, so the
+# checksum must catch it and quarantine the segment.
+BATCH_SEG=$(ls "$BATCH_CACHE"/seg-*.seg | head -1)
+printf 'zz' | dd of="$BATCH_SEG" bs=1 seek=40 conv=notrunc status=none
+run cargo run --release --offline --bin homc -- batch --workers 4 \
+    --cache-dir "$BATCH_CACHE" "${BATCH_PROGRAMS[@]}" | tee "$BATCH_DRILL"
+if ! grep -q '1 quarantined' "$BATCH_DRILL"; then
+    echo "tier1: batch-smoke: corrupted segment was not quarantined" >&2
+    exit 1
+fi
+if ! cmp -s <(verdicts "$BATCH_COLD") <(verdicts "$BATCH_DRILL"); then
+    echo "tier1: batch-smoke: corruption drill flipped a verdict:" >&2
+    diff <(verdicts "$BATCH_COLD") <(verdicts "$BATCH_DRILL") >&2 || true
+    exit 1
+fi
+
 # Bench smoke: run Table 1 at full budget to a scratch file first and gate
 # it against the checked-in baseline with bench-diff — a totals.wall_s
 # regression past the gate thresholds (or any verdict flip) fails the
 # stage *before* the baseline is refreshed, so a slow build cannot
 # silently rewrite its own yardstick. The table1 run itself still fails
-# on any verdict mismatch against the paper.
+# on any verdict mismatch against the paper. A missing or stale-schema
+# baseline fails fast with regeneration instructions instead of the
+# opaque exit 3 that bench-diff would produce.
 BENCH_SCRATCH=target/bench-table1.json
 run cargo run --release --offline -p homc-bench --bin table1 -- --json "$BENCH_SCRATCH"
-if [ -f BENCH_table1.json ]; then
-    run cargo run --release --offline --bin homc -- bench-diff BENCH_table1.json "$BENCH_SCRATCH" --gate
+bench_schema() { sed -n 's/.*"schema": \([0-9]*\).*/\1/p' "$1" | head -1; }
+bench_regen_hint() {
+    echo "tier1: regenerate the baseline with:" >&2
+    echo "tier1:   cargo run --release --offline -p homc-bench --bin table1 -- --json BENCH_table1.json" >&2
+    echo "tier1: and commit the result." >&2
+}
+if [ ! -f BENCH_table1.json ]; then
+    echo "tier1: BENCH_table1.json is missing — the bench gate has no baseline." >&2
+    bench_regen_hint
+    exit 1
 fi
+OLD_SCHEMA=$(bench_schema BENCH_table1.json)
+NEW_SCHEMA=$(bench_schema "$BENCH_SCRATCH")
+if [ "${OLD_SCHEMA:-none}" != "$NEW_SCHEMA" ]; then
+    echo "tier1: BENCH_table1.json has schema ${OLD_SCHEMA:-none} but this build writes schema $NEW_SCHEMA — stale baseline." >&2
+    bench_regen_hint
+    exit 1
+fi
+run cargo run --release --offline --bin homc -- bench-diff BENCH_table1.json "$BENCH_SCRATCH" --gate
 cp "$BENCH_SCRATCH" BENCH_table1.json
 
 echo "tier1: OK"

@@ -1,0 +1,149 @@
+//! The corruption drill (ISSUE satellite S3): warm the disk tier, then flip
+//! one byte in every offset class of the segment format — header magic,
+//! record length field, checksum, payload — and assert that
+//!
+//! * the verifier's verdict is **identical** to the pristine baseline (a
+//!   byte flip may cost cache hits, never correctness), and
+//! * the corruption is *detected*: the load report counts a quarantined
+//!   segment or bad record, and the `disk_quarantine` metrics counter is
+//!   nonzero.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use homc::{
+    suite, verify, Counter, DiskCache, Metrics, QueryCache, Verdict, VerifierOptions,
+};
+
+const PROGRAM: &str = "sum";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("homc-drill-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+/// Verifies the drill program against `cache` and returns the verdict.
+fn verdict_with(cache: Arc<QueryCache>) -> Verdict {
+    let p = suite::find(PROGRAM).expect("suite program");
+    let opts = VerifierOptions {
+        cache: Some(cache),
+        ..VerifierOptions::default()
+    };
+    verify(p.source, &opts).expect("verification runs").verdict
+}
+
+/// Warms a cache on `PROGRAM`, publishes it to `dir`, and returns the
+/// pristine verdict plus the published segment's bytes.
+fn warm_segment(dir: &Path) -> (Verdict, Vec<u8>) {
+    let cache = Arc::new(QueryCache::new());
+    let baseline = verdict_with(cache.clone());
+    let pub_report = DiskCache::new(dir)
+        .publish(&cache)
+        .expect("publish succeeds")
+        .expect("the run solves queries, so the segment is non-empty");
+    assert!(pub_report.records > 0);
+    (baseline, fs::read(&pub_report.path).expect("segment readable"))
+}
+
+#[test]
+fn byte_flips_never_change_verdicts() {
+    let base = tmpdir("classes");
+    let (baseline, bytes) = warm_segment(&base.join("pristine"));
+    let header_len = bytes.iter().position(|&b| b == b'\n').expect("header line") + 1;
+    // One representative offset per class of the record frame
+    // `<8-hex len> <16-hex checksum> <payload>\n` (checksum starts at +9,
+    // payload at +26), plus the header magic.
+    let classes = [
+        ("header", 0),
+        ("length", header_len),
+        ("checksum", header_len + 9),
+        ("payload", header_len + 26),
+    ];
+    for (class, offset) in classes {
+        assert!(offset < bytes.len(), "{class}: offset in range");
+        let dir = base.join(class);
+        fs::create_dir_all(&dir).unwrap();
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 0x01;
+        fs::write(dir.join("seg-000001.seg"), &corrupt).unwrap();
+
+        let metrics = Metrics::new(false);
+        let disk = DiskCache::new(&dir).with_metrics(metrics.clone());
+        let cache = Arc::new(QueryCache::new());
+        let report = disk.load_into(&cache).expect("load never hard-fails on content");
+        assert!(
+            report.quarantined > 0 || report.bad_records > 0,
+            "{class}: the flip at offset {offset} must be detected, got {report}"
+        );
+        assert!(
+            metrics.snapshot().counter(Counter::DiskQuarantine) > 0,
+            "{class}: quarantine counter must be nonzero"
+        );
+        assert_eq!(
+            verdict_with(cache),
+            baseline,
+            "{class}: a byte flip changed the verdict"
+        );
+    }
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn version_mismatch_cold_starts_cleanly() {
+    let base = tmpdir("version");
+    let dir = base.join("store");
+    let (baseline, bytes) = warm_segment(&dir);
+    // The header is `homc-cache v1\n`; turn the version digit into `0`.
+    let v_off = bytes
+        .windows(2)
+        .position(|w| w == b"v1")
+        .expect("version field")
+        + 1;
+    let mut old = bytes.clone();
+    old[v_off] = b'0';
+    let seg = dir.join("seg-000001.seg");
+    fs::write(&seg, &old).unwrap();
+
+    let cache = Arc::new(QueryCache::new());
+    let report = DiskCache::new(&dir).load_into(&cache).unwrap();
+    // A schema bump is a clean cold start, not an integrity event: the stale
+    // segment is reclaimed, nothing is quarantined, nothing is loaded.
+    assert_eq!(report.stale, 1, "{report}");
+    assert_eq!(report.records, 0);
+    assert_eq!(report.quarantined, 0);
+    assert!(!seg.exists(), "stale segment is reclaimed");
+    assert_eq!(verdict_with(cache), baseline);
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn every_header_byte_flip_is_safe() {
+    // Denser sweep over the whole header line: whatever byte is hit —
+    // magic, space, version, newline — the verdict must hold and the load
+    // must either quarantine or cold-start.
+    let base = tmpdir("header-sweep");
+    let (baseline, bytes) = warm_segment(&base.join("pristine"));
+    let header_len = bytes.iter().position(|&b| b == b'\n').expect("header line") + 1;
+    for offset in 0..header_len {
+        let dir = base.join(format!("off{offset}"));
+        fs::create_dir_all(&dir).unwrap();
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 0x01;
+        fs::write(dir.join("seg-000001.seg"), &corrupt).unwrap();
+        let cache = Arc::new(QueryCache::new());
+        let report = DiskCache::new(&dir).load_into(&cache).unwrap();
+        assert!(
+            report.quarantined > 0 || report.stale > 0,
+            "offset {offset}: corrupt header must quarantine or cold-start, got {report}"
+        );
+        assert_eq!(report.records, 0, "offset {offset}: nothing may load");
+        assert_eq!(
+            verdict_with(cache),
+            baseline,
+            "offset {offset}: verdict flipped"
+        );
+    }
+    let _ = fs::remove_dir_all(&base);
+}
