@@ -40,9 +40,29 @@ use homc_metrics::{Counter, Hist, Metrics};
 use homc_trace::Tracer;
 use homc_lang::kernel::{Const, Def, Expr, FunName, Op, Program, Value};
 use homc_lang::types::SimpleTy;
-use homc_smt::{Atom, Formula, LinExpr, QueryCache, SatResult, SmtSolver, Var};
+use homc_smt::{Atom, Formula, LinExpr, Model, QueryCache, SatResult, SmtSolver, Var};
 
 use crate::types::{AbsEnv, AbsTy};
+
+/// How feasible guard/value combinations are enumerated (the inner loop of
+/// A-BASE/A-CADD/A-CREM).
+///
+/// Both modes explore the same true-first DFS over the literal sequence
+/// (context-component meanings followed by target predicates) and prune a
+/// branch exactly when its prefix query is unsatisfiable, so they produce
+/// byte-identical abstract programs; they differ only in how many prefix
+/// queries reach the solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnumMode {
+    /// AllSAT-style expansion: a satisfying model of one prefix query is
+    /// evaluated over *all* remaining literals, and every later prefix the
+    /// model covers is descended without a solver call. Queries become
+    /// O(#implicants + #unsat frontiers) instead of O(tree nodes).
+    ModelGuided,
+    /// One satisfiability query per DFS node (the original engine; kept as
+    /// the differential-testing oracle).
+    Exhaustive,
+}
 
 /// Options for the abstraction.
 #[derive(Clone, Debug)]
@@ -57,6 +77,8 @@ pub struct AbsOptions {
     /// fresh names are namespaced per definition and results are collected
     /// in definition order.
     pub threads: usize,
+    /// Feasible-combination enumeration strategy (see [`EnumMode`]).
+    pub enum_mode: EnumMode,
 }
 
 impl Default for AbsOptions {
@@ -66,6 +88,7 @@ impl Default for AbsOptions {
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            enum_mode: EnumMode::ModelGuided,
         }
     }
 }
@@ -77,6 +100,32 @@ pub struct AbsStats {
     pub sat_queries: usize,
     /// Coercion wrappers synthesized (A-CFUN applications).
     pub coercions: usize,
+    /// Feasible implicants emitted by the model-guided enumeration.
+    pub implicants: usize,
+    /// Context components dropped by the `max_context_atoms` cap.
+    pub ctx_truncated: usize,
+    /// Prefix queries answered without the solver: model-coverage skips
+    /// during enumeration, plus the recorded cost of memo-reused
+    /// definitions (incremental runs only).
+    pub queries_saved: usize,
+    /// Definitions reused verbatim from the transition memo (incremental
+    /// runs only; the first build of a definition counts neither way).
+    pub defs_reused: usize,
+    /// Definitions re-abstracted because their cone fingerprint changed
+    /// (incremental runs only).
+    pub defs_rebuilt: usize,
+}
+
+impl AbsStats {
+    /// Folds another task's statistics into this one (the reuse/rebuild
+    /// tallies are per-run, not per-task, and are managed by the caller).
+    pub(crate) fn absorb(&mut self, o: &AbsStats) {
+        self.sat_queries += o.sat_queries;
+        self.coercions += o.coercions;
+        self.implicants += o.implicants;
+        self.ctx_truncated += o.ctx_truncated;
+        self.queries_saved += o.queries_saved;
+    }
 }
 
 /// Errors from the abstraction.
@@ -133,7 +182,51 @@ pub fn abstract_program_budgeted(
 
 /// What one definition task produces: its coercion wrappers followed by the
 /// abstracted definition itself, plus the queries it spent.
-type DefResult = Result<(Vec<BDef>, AbsStats), AbsError>;
+pub(crate) type DefResult = Result<(Vec<BDef>, AbsStats), AbsError>;
+
+/// Runs one abstraction task: definition `ns` for `ns < defs.len()`, the
+/// closed entry wrapper for `ns == defs.len()`. This is the unit both the
+/// eager fan-out ([`abstract_program_metered`]) and the incremental path
+/// (`abstract_program_incremental`) schedule; `ns` doubles as the
+/// fresh-name namespace, so a task's output depends only on the (immutable)
+/// program, environment, and options — never on which other tasks ran.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn abstract_task(
+    program: &Program,
+    env: &AbsEnv,
+    opts: &AbsOptions,
+    budget: Option<Arc<Budget>>,
+    cache: Option<Arc<QueryCache>>,
+    tracer: &Tracer,
+    metrics: &Metrics,
+    ns: usize,
+) -> DefResult {
+    let started = std::time::Instant::now();
+    let mut a = Abstractor::new(program, env, opts, budget, cache, ns)
+        .with_tracer(tracer.clone())
+        .with_metrics(metrics.clone());
+    if let Some(d) = program.defs.get(ns) {
+        let def = a.abstract_def(d)?;
+        a.out.push(def);
+        metrics.incr(Counter::AbsDefs);
+        metrics.observe_dur(Hist::AbsDefUs, started);
+        tracer.emit("abs_def", |e| {
+            e.str("def", &d.name.0);
+            e.num("queries", a.stats.sat_queries as u64);
+            e.num("dur_us", tracer.dur_us(started));
+        });
+    } else {
+        // The entry wrapper reads the final environment of `main`; it gets
+        // its own namespace but no `abs_def` event (it is glue, not a
+        // source definition).
+        let entry = a.build_entry()?;
+        a.out.push(entry);
+    }
+    metrics.add(Counter::AbsImplicants, a.stats.implicants as u64);
+    metrics.add(Counter::AbsQueriesSaved, a.stats.queries_saved as u64);
+    metrics.add(Counter::AbsCtxTruncated, a.stats.ctx_truncated as u64);
+    Ok((a.out, a.stats))
+}
 
 /// [`abstract_program_budgeted`] with an optional shared SMT [`QueryCache`]
 /// (hits collapse repeated entailments across definitions *and* across CEGAR
@@ -194,31 +287,12 @@ pub fn abstract_program_metered(
     let sequential =
         threads <= 1 || n < 2 || budget.as_deref().is_some_and(Budget::has_faults);
 
-    let abstract_one = |ns: usize, d: &Def| -> DefResult {
-        let started = std::time::Instant::now();
-        let mut a =
-            Abstractor::new(program, env, opts, budget.clone(), cache.clone(), ns)
-                .with_tracer(tracer.clone())
-                .with_metrics(metrics.clone());
-        let def = a.abstract_def(d)?;
-        a.out.push(def);
-        metrics.incr(Counter::AbsDefs);
-        metrics.observe_dur(Hist::AbsDefUs, started);
-        tracer.emit("abs_def", |e| {
-            e.str("def", &d.name.0);
-            e.num("queries", a.stats.sat_queries as u64);
-            e.num("dur_us", tracer.dur_us(started));
-        });
-        Ok((a.out, a.stats))
+    let task = |ns: usize| -> DefResult {
+        abstract_task(program, env, opts, budget.clone(), cache.clone(), tracer, metrics, ns)
     };
 
     let slots: Vec<DefResult> = if sequential {
-        program
-            .defs
-            .iter()
-            .enumerate()
-            .map(|(i, d)| abstract_one(i, d))
-            .collect()
+        (0..n).map(&task).collect()
     } else {
         let next = AtomicUsize::new(0);
         let per_worker: Vec<Vec<(usize, DefResult)>> = std::thread::scope(|s| {
@@ -231,7 +305,7 @@ pub fn abstract_program_metered(
                             if i >= n {
                                 break;
                             }
-                            local.push((i, abstract_one(i, &program.defs[i])));
+                            local.push((i, task(i)));
                         }
                         local
                     })
@@ -259,20 +333,13 @@ pub fn abstract_program_metered(
     for slot in slots {
         let (defs, s) = slot?;
         out.extend(defs);
-        stats.sat_queries += s.sat_queries;
-        stats.coercions += s.coercions;
+        stats.absorb(&s);
     }
 
-    // The entry wrapper reads the final environment of `main`; it runs after
-    // the fan-out, in its own name namespace.
-    let mut a = Abstractor::new(program, env, opts, budget, cache, n)
-        .with_tracer(tracer.clone())
-        .with_metrics(metrics.clone());
-    let entry = a.build_entry()?;
-    stats.sat_queries += a.stats.sat_queries;
-    stats.coercions += a.stats.coercions;
-    out.extend(a.out);
-    out.push(entry);
+    // The entry wrapper runs after the fan-out, in its own name namespace.
+    let (entry_defs, entry_stats) = task(n)?;
+    stats.absorb(&entry_stats);
+    out.extend(entry_defs);
 
     let bp = BProgram {
         defs: out,
@@ -312,7 +379,25 @@ struct Abstractor<'a> {
     ns: usize,
     counter: usize,
     stats: AbsStats,
+    tracer: Tracer,
+    /// Ensures the `abs_ctx_trunc` audit event fires at most once per task
+    /// (the counter keeps exact totals; the event is a pointer, not a log).
+    ctx_trunc_reported: bool,
+    /// Models found by earlier model-guided enumeration queries in this
+    /// task. A stored model that evaluates a later prefix query to `true`
+    /// witnesses its satisfiability without a solver call; abstraction
+    /// queries within one definition share most of their context, so hits
+    /// are common. Per-task (never shared across threads) and consulted in
+    /// deterministic order, so skips are identical across thread counts and
+    /// cache states. Bounded by [`MODEL_POOL_CAP`].
+    model_pool: Vec<Model>,
 }
+
+/// Upper bound on [`Abstractor::model_pool`] (oldest evicted first). Kept
+/// small: hits come almost entirely from the most recent models (adjacent
+/// tuples share context), and every query — including the unsatisfiable
+/// majority — pays one formula evaluation per pooled model before solving.
+const MODEL_POOL_CAP: usize = 8;
 
 impl<'a> Abstractor<'a> {
     fn new(
@@ -340,13 +425,18 @@ impl<'a> Abstractor<'a> {
             ns,
             counter: 0,
             stats: AbsStats::default(),
+            tracer: Tracer::disabled(),
+            ctx_trunc_reported: false,
+            model_pool: Vec::new(),
         }
     }
 
     /// Routes this task's SMT queries to the trace sink (each solved
-    /// entailment becomes an `smt` event).
+    /// entailment becomes an `smt` event) and its own audit events
+    /// (`abs_ctx_trunc`) to the same sink.
     fn with_tracer(mut self, tracer: Tracer) -> Abstractor<'a> {
-        self.solver.set_tracer(tracer);
+        self.solver.set_tracer(tracer.clone());
+        self.tracer = tracer;
         self
     }
 
@@ -1053,17 +1143,61 @@ impl<'a> Abstractor<'a> {
             None => facts,
         };
 
-        // Enumerate satisfiable minterms over the selected components, and
-        // per minterm the feasible target combinations.
-        let mut branches: Vec<BExpr> = Vec::new();
-        let mut minterm: Vec<bool> = Vec::new();
-        self.enum_minterms(&pairs, &base, targets, &mut minterm, &mut branches)?;
-        if branches.is_empty() {
+        // Enumerate the feasible cubes over (component meanings ++ target
+        // predicates) in one unified true-first DFS; the prefix split below
+        // regroups them into per-minterm guarded branches.
+        let meanings: Vec<Formula> = pairs
+            .iter()
+            .map(|(_, _, m)| m.clone())
+            .chain(targets.iter().cloned())
+            .collect();
+        let cubes = self.feasible_cubes(&base, &meanings)?;
+        if cubes.is_empty() {
             // No consistent abstract state reaches this point: the paper's
             // A-FAIL-style filtering collapses this to a blocked branch.
             return Ok(BExpr::assume(BoolExpr::FALSE, BExpr::Value(BVal::Tuple(
                 targets.iter().map(|_| BoolExpr::FALSE).collect(),
             ))));
+        }
+
+        // Cubes arrive in lexicographic true-first order, so all cubes of a
+        // minterm are consecutive: split on the minterm prefix to rebuild
+        // the guard / value-choice structure.
+        let np = pairs.len();
+        let mut branches: Vec<BExpr> = Vec::new();
+        let mut i = 0;
+        while i < cubes.len() {
+            let start = i;
+            while i < cubes.len() && cubes[i][..np] == cubes[start][..np] {
+                i += 1;
+            }
+            let minterm = &cubes[start][..np];
+            let guard = BoolExpr::and(minterm.iter().zip(&pairs).map(|(b, (x, j, _))| {
+                let p = BoolExpr::Proj(x.clone(), *j);
+                if *b {
+                    p
+                } else {
+                    BoolExpr::not(p)
+                }
+            }));
+            let mut vals: Vec<BExpr> = cubes[start..i]
+                .iter()
+                .map(|c| {
+                    BExpr::Value(BVal::Tuple(
+                        c[np..].iter().copied().map(BoolExpr::Const).collect(),
+                    ))
+                })
+                .collect();
+            let value = if vals.len() == 1 {
+                vals.pop().expect("len checked")
+            } else {
+                BExpr::achoice_all(vals)
+            };
+            branches.push(if matches!(guard, BoolExpr::Const(true)) {
+                value
+            } else {
+                BExpr::assume(guard, value)
+            });
         }
         // A single unguarded deterministic value stays a plain value.
         if branches.len() == 1 {
@@ -1072,97 +1206,127 @@ impl<'a> Abstractor<'a> {
         Ok(BExpr::achoice_all(branches))
     }
 
-    fn enum_minterms(
+    /// Enumerates every full assignment over `meanings` whose prefixes are
+    /// all satisfiable (or unknown) alongside `base`, in lexicographic
+    /// true-first order. Both [`EnumMode`]s return the identical cube set;
+    /// see [`Abstractor::enum_model_guided`] for why.
+    fn feasible_cubes(
         &mut self,
-        pairs: &[CtxPair],
         base: &Formula,
-        targets: &[Formula],
-        minterm: &mut Vec<bool>,
-        out: &mut Vec<BExpr>,
-    ) -> Result<(), AbsError> {
-        // Prefix satisfiability pruning.
-        let gamma = Formula::and(
-            std::iter::once(base.clone()).chain(
-                minterm
-                    .iter()
-                    .zip(pairs)
-                    .map(|(b, (_, _, m))| if *b { m.clone() } else { Formula::not(m.clone()) }),
-            ),
-        );
-        if !self.query_sat(&gamma)? {
-            return Ok(());
-        }
-        if minterm.len() < pairs.len() {
-            for b in [true, false] {
-                minterm.push(b);
-                self.enum_minterms(pairs, base, targets, minterm, out)?;
-                minterm.pop();
+        meanings: &[Formula],
+    ) -> Result<Vec<Vec<bool>>, AbsError> {
+        let mut out = Vec::new();
+        let mut assigned: Vec<bool> = Vec::new();
+        match self.opts.enum_mode {
+            EnumMode::Exhaustive => {
+                self.enum_exhaustive(base, meanings, &mut assigned, &mut out)?;
             }
-            return Ok(());
-        }
-        // Full minterm: enumerate feasible target combinations.
-        let mut combos: Vec<Vec<bool>> = Vec::new();
-        let mut combo: Vec<bool> = Vec::new();
-        self.enum_combos(&gamma, targets, &mut combo, &mut combos)?;
-        if combos.is_empty() {
-            return Ok(());
-        }
-        let guard = BoolExpr::and(minterm.iter().zip(pairs).map(|(b, (x, i, _))| {
-            let p = BoolExpr::Proj(x.clone(), *i);
-            if *b {
-                p
-            } else {
-                BoolExpr::not(p)
+            EnumMode::ModelGuided => {
+                let mut found: Vec<Vec<bool>> = Vec::new();
+                self.enum_model_guided(base, meanings, &mut assigned, &mut found, &mut out)?;
+                self.stats.implicants += out.len();
             }
-        }));
-        let mut vals: Vec<BExpr> = combos
-            .into_iter()
-            .map(|c| {
-                BExpr::Value(BVal::Tuple(
-                    c.into_iter().map(BoolExpr::Const).collect(),
-                ))
-            })
-            .collect();
-        let value = if vals.len() == 1 {
-            vals.pop().expect("len checked")
-        } else {
-            BExpr::achoice_all(vals)
-        };
-        out.push(if matches!(guard, BoolExpr::Const(true)) {
-            value
-        } else {
-            BExpr::assume(guard, value)
-        });
-        Ok(())
+        }
+        Ok(out)
     }
 
-    fn enum_combos(
+    /// The conjunction `base ∧ ℓ₀ ∧ … ∧ ℓ_{d-1}` where `ℓᵢ` is
+    /// `meanings[i]` or its negation per `assigned[i]`.
+    fn prefix_query(&self, base: &Formula, meanings: &[Formula], assigned: &[bool]) -> Formula {
+        Formula::and(std::iter::once(base.clone()).chain(
+            assigned.iter().zip(meanings).map(|(b, m)| {
+                if *b {
+                    m.clone()
+                } else {
+                    Formula::not(m.clone())
+                }
+            }),
+        ))
+    }
+
+    fn enum_exhaustive(
         &mut self,
-        gamma: &Formula,
-        targets: &[Formula],
-        combo: &mut Vec<bool>,
+        base: &Formula,
+        meanings: &[Formula],
+        assigned: &mut Vec<bool>,
         out: &mut Vec<Vec<bool>>,
     ) -> Result<(), AbsError> {
-        let q = Formula::and(
-            std::iter::once(gamma.clone()).chain(combo.iter().zip(targets).map(|(b, t)| {
-                if *b {
-                    t.clone()
-                } else {
-                    Formula::not(t.clone())
-                }
-            })),
-        );
+        // Prefix satisfiability pruning: one query per DFS node.
+        let q = self.prefix_query(base, meanings, assigned);
         if !self.query_sat(&q)? {
             return Ok(());
         }
-        if combo.len() == targets.len() {
-            out.push(combo.clone());
+        if assigned.len() == meanings.len() {
+            out.push(assigned.clone());
             return Ok(());
         }
         for b in [true, false] {
-            combo.push(b);
-            self.enum_combos(gamma, targets, combo, out)?;
-            combo.pop();
+            assigned.push(b);
+            self.enum_exhaustive(base, meanings, assigned, out)?;
+            assigned.pop();
+        }
+        Ok(())
+    }
+
+    /// Model-guided DFS: same traversal and same prune points as
+    /// [`Abstractor::enum_exhaustive`], but a satisfying model is evaluated
+    /// over *all* literals and cached in `found`; any later node whose
+    /// assigned prefix agrees with a cached model's evaluation vector is a
+    /// genuine satisfiable node (the model witnesses `base` plus every
+    /// assigned literal — `Model::eval` is total) and is descended without
+    /// a solver call.
+    ///
+    /// Determinism/equivalence argument: a node is pruned here iff its
+    /// prefix query is UNSAT, exactly as in exhaustive mode — coverage only
+    /// ever skips queries that would have answered SAT, and UNKNOWN nodes
+    /// are never covered (no model exists to cover them), so they issue the
+    /// identical query and descend in both modes. The emitted cube set —
+    /// and therefore the abstract program — is byte-identical regardless of
+    /// mode, thread count, or query-cache warmth.
+    fn enum_model_guided(
+        &mut self,
+        base: &Formula,
+        meanings: &[Formula],
+        assigned: &mut Vec<bool>,
+        found: &mut Vec<Vec<bool>>,
+        out: &mut Vec<Vec<bool>>,
+    ) -> Result<(), AbsError> {
+        let d = assigned.len();
+        if found.iter().any(|ev| ev[..d] == assigned[..]) {
+            self.stats.queries_saved += 1;
+        } else {
+            let q = self.prefix_query(base, meanings, assigned);
+            // A pooled model from an earlier query in this task that
+            // satisfies `q` proves SAT outright — same effect as a solver
+            // SAT, so the cube set cannot change (UNSAT prefixes can never
+            // be witnessed, and UNKNOWN nodes descend either way).
+            if let Some(m) = self.model_pool.iter().rev().find(|m| m.eval(&q)) {
+                self.stats.queries_saved += 1;
+                found.push(meanings.iter().map(|f| m.eval(f)).collect());
+            } else {
+                self.stats.sat_queries += 1;
+                match self.solver.check(&q) {
+                    SatResult::Unsat => return Ok(()),
+                    SatResult::Exhausted(e) => return Err(AbsError::Exhausted(e)),
+                    SatResult::Sat(m) => {
+                        found.push(meanings.iter().map(|f| m.eval(f)).collect());
+                        if self.model_pool.len() == MODEL_POOL_CAP {
+                            self.model_pool.remove(0);
+                        }
+                        self.model_pool.push(m);
+                    }
+                    SatResult::Unknown => {}
+                }
+            }
+        }
+        if d == meanings.len() {
+            out.push(assigned.clone());
+            return Ok(());
+        }
+        for b in [true, false] {
+            assigned.push(b);
+            self.enum_model_guided(base, meanings, assigned, found, out)?;
+            assigned.pop();
         }
         Ok(())
     }
@@ -1170,7 +1334,7 @@ impl<'a> Abstractor<'a> {
     /// Relevance-filtered context components, newest bindings first, capped
     /// at `max_context_atoms`.
     fn relevant_pairs(
-        &self,
+        &mut self,
         targets: &[Formula],
         exact: &Option<Formula>,
         ctx: &Ctx,
@@ -1214,9 +1378,50 @@ impl<'a> Abstractor<'a> {
             .filter(|(x, _, m)| relevant.contains(x) || m.vars().iter().any(|v| relevant.contains(v)))
             .cloned()
             .collect();
-        out.truncate(self.opts.max_context_atoms);
+        // The cap trades precision for speed (never soundness) — but a
+        // silent drop is unauditable, so account every dropped component
+        // and flag the first occurrence per task in the trace.
+        if out.len() > self.opts.max_context_atoms {
+            let dropped = out.len() - self.opts.max_context_atoms;
+            out.truncate(self.opts.max_context_atoms);
+            self.stats.ctx_truncated += dropped;
+            if !self.ctx_trunc_reported {
+                self.ctx_trunc_reported = true;
+                let (task, cap) = (self.ns, self.opts.max_context_atoms);
+                self.tracer.emit("abs_ctx_trunc", |e| {
+                    e.num("task", task as u64);
+                    e.num("dropped", dropped as u64);
+                    e.num("cap", cap as u64);
+                });
+            }
+        }
         out
     }
+}
+
+/// Test-only entry into the feasible-cube enumeration engine: runs one
+/// enumeration over `meanings` under `base` in the given mode and returns
+/// the cube set plus the number of solver queries spent. Used by the
+/// differential test suite to check model-guided vs. exhaustive equivalence
+/// on random formulas; not part of the public API.
+#[doc(hidden)]
+pub fn enumerate_cubes_for_tests(
+    base: &Formula,
+    meanings: &[Formula],
+    mode: EnumMode,
+) -> Result<(Vec<Vec<bool>>, usize), AbsError> {
+    let program = Program {
+        defs: Vec::new(),
+        main: FunName("main".to_string()),
+    };
+    let env = AbsEnv::default();
+    let opts = AbsOptions {
+        enum_mode: mode,
+        ..AbsOptions::default()
+    };
+    let mut a = Abstractor::new(&program, &env, &opts, None, None, 0);
+    let cubes = a.feasible_cubes(base, meanings)?;
+    Ok((cubes, a.stats.sat_queries))
 }
 
 enum Classified {

@@ -35,10 +35,12 @@
 #![warn(missing_docs)]
 
 pub mod abstract_prog;
+pub mod incremental;
 pub mod types;
 
 pub use abstract_prog::{
     abstract_program, abstract_program_budgeted, abstract_program_cached,
-    abstract_program_metered, abstract_program_traced, AbsError, AbsOptions, AbsStats,
+    abstract_program_metered, abstract_program_traced, AbsError, AbsOptions, AbsStats, EnumMode,
 };
+pub use incremental::{abstract_program_incremental, TransitionMemo};
 pub use types::{AbsEnv, AbsTy, Predicate};

@@ -1,0 +1,48 @@
+//! Ablation for PR 7's two abstraction optimisations, run independently and
+//! together, against the do-nothing baseline:
+//!
+//! * `memo` — the per-definition transition memo (incremental abstraction);
+//! * `model` — model-guided implicant enumeration (vs. exhaustive);
+//! * `both` — the shipping default;
+//! * `neither` — eager re-abstraction with exhaustive enumeration.
+//!
+//! Uses multi-iteration suite programs so the memo has refinement cycles to
+//! amortise over. Behind `slow-tests` (each configuration runs the full
+//! CEGAR loop repeatedly).
+
+use homc::suite::SUITE;
+use homc::{verify, VerifierOptions};
+use homc_abs::EnumMode;
+use homc_bench::time_it;
+
+/// Multi-cycle programs: the memo only pays off past the first iteration.
+const PROGRAMS: &[&str] = &["l-zipmap", "a-max", "r-file"];
+
+fn opts(memo: bool, model: bool) -> VerifierOptions {
+    let mut o = VerifierOptions {
+        incremental_abs: memo,
+        ..VerifierOptions::default()
+    };
+    o.abs.enum_mode = if model { EnumMode::ModelGuided } else { EnumMode::Exhaustive };
+    o
+}
+
+fn main() {
+    for name in PROGRAMS {
+        let Some(p) = SUITE.iter().find(|p| p.name == *name) else {
+            eprintln!("abs_incremental: {name} not in suite, skipping");
+            continue;
+        };
+        for (label, memo, model) in [
+            ("neither", false, false),
+            ("memo", true, false),
+            ("model", false, true),
+            ("both", true, true),
+        ] {
+            let o = opts(memo, model);
+            time_it(&format!("{name}/{label}"), 10, || {
+                verify(p.source, &o).expect("runs").verdict
+            });
+        }
+    }
+}

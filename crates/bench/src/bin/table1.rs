@@ -27,7 +27,7 @@ static COUNTING_ALLOC: homc_metrics::mem::CountingAlloc = homc_metrics::mem::Cou
 
 /// The baseline document's schema version. `bench-diff` refuses to compare
 /// documents whose schema (or suite, or clock mode) disagrees.
-const SCHEMA: u64 = 3;
+const SCHEMA: u64 = 4;
 
 /// Escapes a string for a JSON string literal (the names and verdicts here
 /// are ASCII identifiers, but quoting defensively costs nothing).
@@ -54,6 +54,8 @@ fn to_json(rows: &[Row]) -> String {
     let mut total = 0.0f64;
     let (mut smt, mut hits, mut misses, mut pops, mut rescans) = (0usize, 0u64, 0u64, 0usize, 0usize);
     let (mut sliced, mut reuse, mut prefix) = (0usize, 0usize, 0u64);
+    let (mut defs_reused, mut defs_rebuilt) = (0usize, 0usize);
+    let (mut implicants, mut queries_saved, mut ctx_trunc) = (0usize, 0usize, 0usize);
     let mut peak = 0u64;
     let (mut warm_total, mut disk_hits) = (0.0f64, 0u64);
     let mut body = String::from("{\n");
@@ -81,6 +83,11 @@ fn to_json(rows: &[Row]) -> String {
         sliced += s.cuts_sliced;
         reuse += s.cert_reuse_hits;
         prefix += s.fm_prefix_hits;
+        defs_reused += s.abs_defs_reused;
+        defs_rebuilt += s.abs_defs_rebuilt;
+        implicants += s.abs_implicants;
+        queries_saved += s.abs_queries_saved;
+        ctx_trunc += s.abs_ctx_truncated;
         peak = peak.max(s.peak_bytes);
         warm_total += r.warm_total_s;
         disk_hits += r.warm_disk_hits;
@@ -92,6 +99,8 @@ fn to_json(rows: &[Row]) -> String {
              \"smt_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"worklist_pops\": {}, \"rescans_avoided\": {}, \
              \"cuts_sliced\": {}, \"cert_reuse_hits\": {}, \"fm_prefix_hits\": {}, \
+             \"abs_defs_reused\": {}, \"abs_defs_rebuilt\": {}, \"abs_implicants\": {}, \
+             \"abs_queries_saved\": {}, \"abs_ctx_truncated\": {}, \
              \"peak_bytes\": {}, \"peak_abs_bytes\": {}, \"peak_mc_bytes\": {}, \
              \"peak_feas_bytes\": {}, \"peak_interp_bytes\": {}, \
              \"warm_total_s\": {:.4}, \"warm_disk_hits\": {}}}{}",
@@ -113,6 +122,11 @@ fn to_json(rows: &[Row]) -> String {
             s.cuts_sliced,
             s.cert_reuse_hits,
             s.fm_prefix_hits,
+            s.abs_defs_reused,
+            s.abs_defs_rebuilt,
+            s.abs_implicants,
+            s.abs_queries_saved,
+            s.abs_ctx_truncated,
             s.peak_bytes,
             s.peak_abs_bytes,
             s.peak_mc_bytes,
@@ -129,6 +143,9 @@ fn to_json(rows: &[Row]) -> String {
          \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"worklist_pops\": {pops}, \
          \"rescans_avoided\": {rescans}, \"cuts_sliced\": {sliced}, \
          \"cert_reuse_hits\": {reuse}, \"fm_prefix_hits\": {prefix}, \
+         \"abs_defs_reused\": {defs_reused}, \"abs_defs_rebuilt\": {defs_rebuilt}, \
+         \"abs_implicants\": {implicants}, \"abs_queries_saved\": {queries_saved}, \
+         \"abs_ctx_truncated\": {ctx_trunc}, \
          \"peak_bytes\": {peak}, \"warm_wall_s\": {warm_total:.4}, \
          \"warm_disk_hits\": {disk_hits}}}\n}}\n",
     );

@@ -160,6 +160,16 @@ fn run_one(
                     out.stats.cert_reuse_hits,
                     out.stats.fm_prefix_hits,
                 ));
+                say(format_args!(
+                    "{:12} abs_defs_reused={} abs_defs_rebuilt={} abs_implicants={} \
+                     abs_queries_saved={} abs_ctx_truncated={}",
+                    "",
+                    out.stats.abs_defs_reused,
+                    out.stats.abs_defs_rebuilt,
+                    out.stats.abs_implicants,
+                    out.stats.abs_queries_saved,
+                    out.stats.abs_ctx_truncated,
+                ));
             }
             if show_stats && out.stats.peak_bytes > 0 {
                 say(format_args!(
@@ -791,6 +801,11 @@ fn main() -> ExitCode {
                 totals.cuts_sliced += s.cuts_sliced;
                 totals.cert_reuse_hits += s.cert_reuse_hits;
                 totals.fm_prefix_hits += s.fm_prefix_hits;
+                totals.abs_defs_reused += s.abs_defs_reused;
+                totals.abs_defs_rebuilt += s.abs_defs_rebuilt;
+                totals.abs_implicants += s.abs_implicants;
+                totals.abs_queries_saved += s.abs_queries_saved;
+                totals.abs_ctx_truncated += s.abs_ctx_truncated;
             }
         }
         if !matched {
@@ -821,6 +836,15 @@ fn main() -> ExitCode {
         say(format_args!(
             "refinement fast path: cuts sliced {}, cert reuse {}, fm prefix hits {}",
             totals.cuts_sliced, totals.cert_reuse_hits, totals.fm_prefix_hits,
+        ));
+        say(format_args!(
+            "incremental abstraction: defs reused {}, rebuilt {}, implicants {}, \
+             queries saved {}, ctx truncated {}",
+            totals.abs_defs_reused,
+            totals.abs_defs_rebuilt,
+            totals.abs_implicants,
+            totals.abs_queries_saved,
+            totals.abs_ctx_truncated,
         ));
         if failed == 0 {
             ExitCode::SUCCESS

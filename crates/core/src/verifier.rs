@@ -28,7 +28,10 @@ use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
-use homc_abs::{abstract_program_metered, AbsEnv, AbsError, AbsOptions, AbsTy};
+use homc_abs::{
+    abstract_program_incremental, abstract_program_metered, AbsEnv, AbsError, AbsOptions, AbsTy,
+    TransitionMemo,
+};
 use homc_cegar::{
     build_trace_budgeted, refine_env_traced, Feasibility, RefineError, RefineOptions, TraceEnd,
     TraceError,
@@ -50,6 +53,13 @@ pub struct VerifierOptions {
     pub max_iterations: usize,
     /// Predicate abstraction options.
     pub abs: AbsOptions,
+    /// Reuse each definition's abstraction across CEGAR iterations when its
+    /// dependency-cone fingerprint is unchanged (the per-definition
+    /// transition memo). Reuse is verbatim — fresh names are namespaced per
+    /// definition — so this never changes the abstract program, only the
+    /// work spent rebuilding it. `false` re-abstracts everything every
+    /// iteration (the differential-testing oracle).
+    pub incremental_abs: bool,
     /// Model checker limits.
     pub check: CheckLimits,
     /// Refinement options.
@@ -92,6 +102,7 @@ impl Default for VerifierOptions {
         VerifierOptions {
             max_iterations: 40,
             abs: AbsOptions::default(),
+            incremental_abs: true,
             check: CheckLimits::default(),
             refine: RefineOptions::default(),
             trace_fuel: 200_000,
@@ -243,6 +254,23 @@ pub struct VerifyStats {
     pub peak_feas_bytes: u64,
     /// Peak live heap bytes observed while interpolation allocated.
     pub peak_interp_bytes: u64,
+    /// Definitions whose abstraction was reused verbatim from the
+    /// transition memo (cone fingerprint unchanged), summed over
+    /// iterations. First-time builds count neither as reused nor rebuilt.
+    pub abs_defs_reused: usize,
+    /// Definitions re-abstracted because their cone fingerprint changed,
+    /// summed over iterations.
+    pub abs_defs_rebuilt: usize,
+    /// Feasible implicants emitted by the model-guided enumeration, summed
+    /// over iterations.
+    pub abs_implicants: usize,
+    /// Abstraction SMT queries avoided (model-coverage skips plus the
+    /// recorded cost of memo-reused definitions), summed over iterations.
+    pub abs_queries_saved: usize,
+    /// Context components dropped by the `max_context_atoms` precision cap,
+    /// summed over iterations (includes the recorded drops of memo-reused
+    /// definitions).
+    pub abs_ctx_truncated: usize,
 }
 
 /// The result of a verification run.
@@ -347,6 +375,17 @@ struct IterRecord {
     cuts_sliced: usize,
     /// Cut points solved from a shared Farkas certificate this iteration.
     cert_reuse_hits: usize,
+    /// Definitions reused verbatim from the transition memo this iteration.
+    abs_defs_reused: usize,
+    /// Definitions re-abstracted (stale cone fingerprint) this iteration.
+    abs_defs_rebuilt: usize,
+    /// Feasible implicants emitted by model-guided enumeration this
+    /// iteration.
+    abs_implicants: usize,
+    /// Abstraction queries avoided this iteration.
+    abs_queries_saved: usize,
+    /// Context components dropped by the precision cap this iteration.
+    abs_ctx_truncated: usize,
 }
 
 /// Predicate count of one abstraction type (recursing into arrow chains).
@@ -473,6 +512,11 @@ pub fn verify_compiled(
     if tracer.is_logical() {
         abs_opts.threads = 1;
     }
+    // The per-definition transition memo survives the whole run, including
+    // escalation retries: entries are keyed by cone fingerprint, so they
+    // stay valid across attempts (the program and name scheme never change
+    // within a run).
+    let mut memo = TransitionMemo::new();
     let mut verdict;
 
     'attempts: loop {
@@ -508,6 +552,7 @@ pub fn verify_compiled(
                     &mut stats,
                     &tracer,
                     &mut rec,
+                    &mut memo,
                 )
             });
             metrics.observe_dur(Hist::IterUs, iter_start);
@@ -546,6 +591,23 @@ pub fn verify_compiled(
                     }
                     if rec.cert_reuse_hits > 0 {
                         e.num("cert_reuse_hits", rec.cert_reuse_hits as u64);
+                    }
+                    // Incremental-abstraction counters, same nonzero-only
+                    // policy (they postdate the golden traces too).
+                    if rec.abs_defs_reused > 0 {
+                        e.num("abs_defs_reused", rec.abs_defs_reused as u64);
+                    }
+                    if rec.abs_defs_rebuilt > 0 {
+                        e.num("abs_defs_rebuilt", rec.abs_defs_rebuilt as u64);
+                    }
+                    if rec.abs_implicants > 0 {
+                        e.num("abs_implicants", rec.abs_implicants as u64);
+                    }
+                    if rec.abs_queries_saved > 0 {
+                        e.num("abs_queries_saved", rec.abs_queries_saved as u64);
+                    }
+                    if rec.abs_ctx_truncated > 0 {
+                        e.num("abs_ctx_truncated", rec.abs_ctx_truncated as u64);
                     }
                     if cs.rat_hits > rat_hits0 {
                         e.num("fm_prefix_hits", cs.rat_hits - rat_hits0);
@@ -642,6 +704,7 @@ fn run_iteration(
     stats: &mut VerifyStats,
     tracer: &Tracer,
     rec: &mut IterRecord,
+    memo: &mut TransitionMemo,
 ) -> IterOutcome {
     let unknown = |reason: UnknownReason| IterOutcome::Done(Verdict::Unknown { reason });
     let span = |phase: &str, started: Instant| {
@@ -657,15 +720,28 @@ fn run_iteration(
     // allocator (when installed) attributes watermarks per phase.
     let t = Instant::now();
     let mem_tag = mem::phase_scope(Phase::Abs);
-    let abs_result = abstract_program_metered(
-        &compiled.cps,
-        env,
-        abs_opts,
-        Some(budget.clone()),
-        solver.cache().cloned(),
-        tracer,
-        solver.metrics(),
-    );
+    let abs_result = if opts.incremental_abs {
+        abstract_program_incremental(
+            &compiled.cps,
+            env,
+            abs_opts,
+            Some(budget.clone()),
+            solver.cache().cloned(),
+            tracer,
+            solver.metrics(),
+            memo,
+        )
+    } else {
+        abstract_program_metered(
+            &compiled.cps,
+            env,
+            abs_opts,
+            Some(budget.clone()),
+            solver.cache().cloned(),
+            tracer,
+            solver.metrics(),
+        )
+    };
     drop(mem_tag);
     stats.abst += t.elapsed();
     span("abs", t);
@@ -673,6 +749,16 @@ fn run_iteration(
         Ok((bp, abs_stats)) => {
             stats.smt_queries += abs_stats.sat_queries;
             rec.abs_queries = abs_stats.sat_queries;
+            rec.abs_defs_reused = abs_stats.defs_reused;
+            rec.abs_defs_rebuilt = abs_stats.defs_rebuilt;
+            rec.abs_implicants = abs_stats.implicants;
+            rec.abs_queries_saved = abs_stats.queries_saved;
+            rec.abs_ctx_truncated = abs_stats.ctx_truncated;
+            stats.abs_defs_reused += abs_stats.defs_reused;
+            stats.abs_defs_rebuilt += abs_stats.defs_rebuilt;
+            stats.abs_implicants += abs_stats.implicants;
+            stats.abs_queries_saved += abs_stats.queries_saved;
+            stats.abs_ctx_truncated += abs_stats.ctx_truncated;
             bp
         }
         Err(AbsError::Exhausted(e)) => return unknown(UnknownReason::Budget(e)),

@@ -58,10 +58,25 @@ pub enum Counter {
     DiskHits,
     /// Disk-cache records or segments rejected by an integrity check.
     DiskQuarantine,
+    /// Definitions whose abstraction was reused verbatim from the
+    /// transition memo (cone fingerprint unchanged since the last build).
+    AbsDefsReused,
+    /// Definitions re-abstracted because a prior memo entry's cone
+    /// fingerprint changed (first-time builds count neither way).
+    AbsDefsRebuilt,
+    /// Feasible implicants emitted by the model-guided enumeration.
+    AbsImplicants,
+    /// SMT queries avoided by incremental abstraction: prefix probes
+    /// answered by an already-found model plus the recorded cost of every
+    /// memo-reused definition.
+    AbsQueriesSaved,
+    /// Relevant context components dropped by the `max_context_atoms` cap
+    /// while selecting guard predicates (a precision, not soundness, loss).
+    AbsCtxTruncated,
 }
 
 /// All counters, in display order.
-pub const COUNTERS: [Counter; 9] = [
+pub const COUNTERS: [Counter; 14] = [
     Counter::SmtSolves,
     Counter::InterpCuts,
     Counter::McRounds,
@@ -71,6 +86,11 @@ pub const COUNTERS: [Counter; 9] = [
     Counter::JobsUnknown,
     Counter::DiskHits,
     Counter::DiskQuarantine,
+    Counter::AbsDefsReused,
+    Counter::AbsDefsRebuilt,
+    Counter::AbsImplicants,
+    Counter::AbsQueriesSaved,
+    Counter::AbsCtxTruncated,
 ];
 
 impl Counter {
@@ -90,6 +110,11 @@ impl Counter {
             Counter::JobsUnknown => "jobs_unknown",
             Counter::DiskHits => "disk_hits",
             Counter::DiskQuarantine => "disk_quarantine",
+            Counter::AbsDefsReused => "abs_defs_reused",
+            Counter::AbsDefsRebuilt => "abs_defs_rebuilt",
+            Counter::AbsImplicants => "abs_implicants",
+            Counter::AbsQueriesSaved => "abs_queries_saved",
+            Counter::AbsCtxTruncated => "abs_ctx_truncated",
         }
     }
 }

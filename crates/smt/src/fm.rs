@@ -379,10 +379,18 @@ fn gcd_cut_unsat(atoms: &[Atom]) -> bool {
 
 /// Checks a conjunction of atoms over the **integers** via branch & bound.
 pub fn int_sat(atoms: &[Atom], max_depth: u32) -> IntResult {
+    int_sat_cached(atoms, max_depth, None)
+}
+
+/// [`int_sat`] with every rational relaxation (the root one and each branch
+/// & bound node's) memoized through [`rational_sat_cached`]. The solver's
+/// implicant search refutes sibling branches over near-identical atom sets,
+/// so the shared table converts most of its relaxations into lookups.
+pub fn int_sat_cached(atoms: &[Atom], max_depth: u32, cache: Option<&QueryCache>) -> IntResult {
     if gcd_cut_unsat(atoms) {
         return IntResult::Unsat(None);
     }
-    match rational_sat(atoms) {
+    match rational_sat_cached(atoms, cache) {
         RatResult::Unsat(cert) => IntResult::Unsat(Some(cert)),
         RatResult::Sat(model) => {
             match model.iter().find(|(_, r)| !r.is_integer()) {
@@ -393,13 +401,13 @@ pub fn int_sat(atoms: &[Atom], max_depth: u32) -> IntResult {
                     let above = Atom::ge(LinExpr::var(v.clone()), LinExpr::constant(r.ceil()));
                     let mut left = atoms.to_vec();
                     left.push(below);
-                    match int_sat(&left, max_depth - 1) {
+                    match int_sat_cached(&left, max_depth - 1, cache) {
                         IntResult::Sat(m) => IntResult::Sat(m),
                         IntResult::Unknown => IntResult::Unknown,
                         IntResult::Unsat(_) => {
                             let mut right = atoms.to_vec();
                             right.push(above);
-                            match int_sat(&right, max_depth - 1) {
+                            match int_sat_cached(&right, max_depth - 1, cache) {
                                 IntResult::Sat(m) => IntResult::Sat(m),
                                 IntResult::Unknown => IntResult::Unknown,
                                 // Both branches closed: integer-unsat, but the

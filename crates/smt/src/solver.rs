@@ -15,7 +15,7 @@ use homc_metrics::{Counter, Hist, Metrics};
 use homc_trace::{stable_hash64, Tracer};
 
 use crate::cache::{CachedSat, QueryCache};
-use crate::fm::{int_sat, rational_sat, IntResult, RatResult};
+use crate::fm::{int_sat_cached, rational_sat_cached, IntResult, RatResult};
 use crate::formula::Formula;
 use crate::linexpr::{Atom, Var};
 
@@ -290,9 +290,10 @@ impl SmtSolver {
         let nnf = f.nnf();
         let mut unknown = false;
         let res = self.search(
-            &mut vec![nnf],
+            &mut vec![&nnf],
             &mut Vec::new(),
             &mut BTreeMap::new(),
+            &mut 0,
             &mut unknown,
         );
         match res {
@@ -322,19 +323,29 @@ impl SmtSolver {
 
     /// Depth-first implicant search. `goals` is a stack of NNF subformulas
     /// still to satisfy; `atoms`/`bools` is the current partial implicant.
+    /// `checked` is the length of the longest `atoms` prefix already proven
+    /// rationally satisfiable — since every prefix of a satisfiable
+    /// conjunction is satisfiable, it only needs clamping down when atoms
+    /// pop off.
     ///
     /// Invariant: every call returns `goals`, `atoms` and `bools` exactly as
     /// it found them, so disjunction branches can backtrack freely.
+    #[allow(clippy::too_many_arguments)]
     fn search(
         &self,
-        goals: &mut Vec<Formula>,
+        goals: &mut Vec<&Formula>,
         atoms: &mut Vec<Atom>,
         bools: &mut BTreeMap<Var, bool>,
+        checked: &mut usize,
         unknown: &mut bool,
     ) -> Option<Model> {
         let Some(goal) = goals.pop() else {
-            // Implicant complete: final integer check.
-            return match int_sat(atoms, self.limits.bb_depth) {
+            // Implicant complete: final integer check. Routed through the
+            // shared rational-prefix table when a cache is attached — sibling
+            // implicants of one query (and the enumeration queries of one
+            // abstraction pass) differ in a few trailing atoms, so their
+            // branch & bound relaxations mostly replay.
+            return match int_sat_cached(atoms, self.limits.bb_depth, self.cache.as_deref()) {
                 IntResult::Sat(ints) => Some(Model::new(ints, bools.clone())),
                 IntResult::Unsat(_) => None,
                 IntResult::Unknown => {
@@ -343,48 +354,63 @@ impl SmtSolver {
                 }
             };
         };
-        let result = match &goal {
-            Formula::True => self.search(goals, atoms, bools, unknown),
+        let result = match goal {
+            Formula::True => self.search(goals, atoms, bools, checked, unknown),
             Formula::False => None,
             Formula::Atom(a) => {
                 atoms.push(a.clone());
-                // Prune rational-unsat prefixes early; rational unsat implies
-                // integer unsat, so this never loses models.
-                let ok = matches!(rational_sat(atoms), RatResult::Sat(_));
-                let r = if ok {
-                    self.search(goals, atoms, bools, unknown)
-                } else {
-                    None
-                };
+                let r = self.search(goals, atoms, bools, checked, unknown);
                 atoms.pop();
+                *checked = (*checked).min(atoms.len());
                 r
             }
-            Formula::BVar(v) => self.assign_bool(v.clone(), true, goals, atoms, bools, unknown),
+            Formula::BVar(v) => {
+                self.assign_bool(v.clone(), true, goals, atoms, bools, checked, unknown)
+            }
             Formula::Not(inner) => match inner.as_ref() {
                 Formula::BVar(v) => {
-                    self.assign_bool(v.clone(), false, goals, atoms, bools, unknown)
+                    self.assign_bool(v.clone(), false, goals, atoms, bools, checked, unknown)
                 }
                 other => unreachable!("NNF invariant violated: Not({other:?})"),
             },
             Formula::And(fs) => {
                 for f in fs.iter().rev() {
-                    goals.push(f.clone());
+                    goals.push(f);
                 }
-                let r = self.search(goals, atoms, bools, unknown);
+                let r = self.search(goals, atoms, bools, checked, unknown);
                 goals.truncate(goals.len() - fs.len());
                 r
             }
             Formula::Or(fs) => {
-                let mut found = None;
-                for f in fs {
-                    goals.push(f.clone());
-                    found = self.search(goals, atoms, bools, unknown);
-                    goals.pop();
-                    if found.is_some() {
-                        break;
+                // Branch point: one rational consistency check of the
+                // accumulated implicant prunes the whole subtree. Checking
+                // here instead of after every atom push keeps long
+                // conjunction prefixes linear (a path condition with
+                // hundreds of definitional equalities used to pay a full
+                // Fourier–Motzkin run per atom); rational unsat implies
+                // integer unsat, so the prune never loses models, and any
+                // branch it cuts would have died at its leaf check anyway.
+                if atoms.len() > *checked
+                    && !matches!(
+                        rational_sat_cached(atoms, self.cache.as_deref()),
+                        RatResult::Sat(_)
+                    )
+                {
+                    None
+                } else {
+                    *checked = atoms.len();
+                    let mut found = None;
+                    for f in fs {
+                        goals.push(f);
+                        found = self.search(goals, atoms, bools, checked, unknown);
+                        goals.pop();
+                        *checked = (*checked).min(atoms.len());
+                        if found.is_some() {
+                            break;
+                        }
                     }
+                    found
                 }
-                found
             }
         };
         goals.push(goal);
@@ -396,17 +422,18 @@ impl SmtSolver {
         &self,
         v: Var,
         val: bool,
-        goals: &mut Vec<Formula>,
+        goals: &mut Vec<&Formula>,
         atoms: &mut Vec<Atom>,
         bools: &mut BTreeMap<Var, bool>,
+        checked: &mut usize,
         unknown: &mut bool,
     ) -> Option<Model> {
         match bools.get(&v) {
             Some(&prev) if prev != val => None,
-            Some(_) => self.search(goals, atoms, bools, unknown),
+            Some(_) => self.search(goals, atoms, bools, checked, unknown),
             None => {
                 bools.insert(v.clone(), val);
-                let r = self.search(goals, atoms, bools, unknown);
+                let r = self.search(goals, atoms, bools, checked, unknown);
                 bools.remove(&v);
                 r
             }

@@ -96,6 +96,17 @@ static EVENT_SCHEMAS: &[EventSchema] = &[
         ],
     },
     EventSchema {
+        // One-shot audit pointer: the `max_context_atoms` cap dropped
+        // relevant context components in abstraction task `task` (the
+        // `abs_ctx_truncated` counter keeps the exact total).
+        ev: "abs_ctx_trunc",
+        fields: &[
+            ("task", FieldTy::Count),
+            ("dropped", FieldTy::Count),
+            ("cap", FieldTy::Count),
+        ],
+    },
+    EventSchema {
         ev: "mc_round",
         fields: &[
             ("round", FieldTy::Count),

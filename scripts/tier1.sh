@@ -95,6 +95,22 @@ if ! cmp -s <(verdicts "$BATCH_COLD") <(verdicts "$BATCH_DRILL"); then
     exit 1
 fi
 
+# Incremental-abstraction smoke: on a multi-iteration program the
+# transition memo must actually fire — iterations after the first reuse
+# the definitions refinement did not touch. l-zipmap takes >= 3 CEGAR
+# cycles, so a run with --stats must report a nonzero abs_defs_reused and
+# still verify (verdict regressions here are caught as a failed tally).
+ABS_SMOKE=target/abs-incremental-smoke.txt
+run cargo run --release --offline --bin homc -- --suite l-zipmap --stats | tee "$ABS_SMOKE"
+if ! grep -q 'passed 1, failed 0, unknown 0' "$ABS_SMOKE"; then
+    echo "tier1: abs-incremental: l-zipmap no longer verifies" >&2
+    exit 1
+fi
+if ! grep -q 'abs_defs_reused=[1-9]' "$ABS_SMOKE"; then
+    echo "tier1: abs-incremental: transition memo reused nothing on a multi-iteration run" >&2
+    exit 1
+fi
+
 # Bench smoke: run Table 1 at full budget to a scratch file first and gate
 # it against the checked-in baseline with bench-diff — a totals.wall_s
 # regression past the gate thresholds (or any verdict flip) fails the
@@ -119,7 +135,7 @@ fi
 OLD_SCHEMA=$(bench_schema BENCH_table1.json)
 NEW_SCHEMA=$(bench_schema "$BENCH_SCRATCH")
 if [ "${OLD_SCHEMA:-none}" != "$NEW_SCHEMA" ]; then
-    echo "tier1: BENCH_table1.json has schema ${OLD_SCHEMA:-none} but this build writes schema $NEW_SCHEMA — stale baseline." >&2
+    echo "tier1: BENCH_table1.json has schema ${OLD_SCHEMA:-none} but this build writes schema $NEW_SCHEMA — stale baseline (schema 4 added the incremental-abstraction counters)." >&2
     bench_regen_hint
     exit 1
 fi

@@ -1,0 +1,335 @@
+//! Incremental-abstraction differential tests (PR 7).
+//!
+//! The two optimisations under test are both claimed to be *semantically
+//! invisible*: the per-definition transition memo reuses byte-identical
+//! output, and the model-guided implicant enumeration prunes exactly the
+//! branches the exhaustive engine prunes. These tests pin the claims down:
+//!
+//! * a 1k random-formula differential between the model-guided and
+//!   exhaustive cube enumerations (same cube sets, never more queries);
+//! * byte-identical abstract programs between the two enumeration modes on
+//!   the pinned program set (with real predicates installed);
+//! * byte-identical abstract programs from the incremental path across a
+//!   simulated refinement step, with verbatim reuse actually observed;
+//! * identical verdicts across the whole Table 1 suite between the new
+//!   engine (memo + model-guided) and the old one (eager + exhaustive);
+//! * `abs_defs_reused > 0` on a multi-iteration CEGAR run.
+
+use std::sync::Arc;
+
+use homc::{suite, verify, Verdict, VerifierOptions};
+use homc_abs::abstract_prog::enumerate_cubes_for_tests;
+use homc_abs::{
+    abstract_program_incremental, abstract_program_metered, AbsEnv, AbsOptions, AbsTy, EnumMode,
+    Predicate, TransitionMemo,
+};
+use homc_lang::frontend;
+use homc_lang::types::SimpleTy;
+use homc_metrics::Metrics;
+use homc_smt::{Atom, Formula, LinExpr, QueryCache, Var};
+use homc_trace::Tracer;
+
+/// Deterministic xorshift64* generator (same idiom as `properties.rs`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn int(&mut self, lo: i128, hi: i128) -> i128 {
+        lo + (self.below((hi - lo + 1) as u64) as i128)
+    }
+}
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+
+fn rand_expr(rng: &mut Rng) -> LinExpr {
+    let mut e = LinExpr::constant(rng.int(-4, 4));
+    for _ in 0..=rng.below(2) {
+        let v = VARS[rng.below(VARS.len() as u64) as usize];
+        e.add_term(rng.int(-2, 2), Var::new(v));
+    }
+    e
+}
+
+fn rand_atom(rng: &mut Rng) -> Formula {
+    let a = rand_expr(rng);
+    let b = rand_expr(rng);
+    Formula::atom(match rng.below(5) {
+        0 => Atom::le(a, b),
+        1 => Atom::lt(a, b),
+        2 => Atom::ge(a, b),
+        3 => Atom::gt(a, b),
+        _ => Atom::eq(a, b),
+    })
+}
+
+fn rand_formula(rng: &mut Rng, depth: u32) -> Formula {
+    if depth == 0 || rng.below(3) == 0 {
+        return rand_atom(rng);
+    }
+    match rng.below(3) {
+        0 => Formula::and((0..2).map(|_| rand_formula(rng, depth - 1))),
+        1 => Formula::or((0..2).map(|_| rand_formula(rng, depth - 1))),
+        _ => Formula::not(rand_formula(rng, depth - 1)),
+    }
+}
+
+/// The 1k-case enumeration differential: for random `base` and literal
+/// lists, the model-guided engine must emit exactly the exhaustive cube
+/// set — same cubes, same order — while never issuing *more* solver
+/// queries. This is the feasible-implicant-cover equivalence the guarded
+/// branches are rebuilt from.
+#[test]
+fn model_guided_enumeration_matches_exhaustive_on_random_formulas() {
+    let mut rng = Rng::new(0x1a2b_3c4d_5e6f_7788);
+    let mut saved_total = 0usize;
+    for case in 0..1000 {
+        let base = rand_formula(&mut rng, 2);
+        let n = 2 + rng.below(3) as usize;
+        let meanings: Vec<Formula> = (0..n).map(|_| rand_formula(&mut rng, 1)).collect();
+        let (exh_cubes, exh_queries) =
+            enumerate_cubes_for_tests(&base, &meanings, EnumMode::Exhaustive)
+                .expect("exhaustive enumeration runs");
+        let (mg_cubes, mg_queries) =
+            enumerate_cubes_for_tests(&base, &meanings, EnumMode::ModelGuided)
+                .expect("model-guided enumeration runs");
+        assert_eq!(
+            exh_cubes, mg_cubes,
+            "case {case}: cube sets diverged (base={base}, meanings={meanings:?})"
+        );
+        assert!(
+            mg_queries <= exh_queries,
+            "case {case}: model-guided spent more queries ({mg_queries} > {exh_queries})"
+        );
+        saved_total += exh_queries - mg_queries;
+    }
+    assert!(
+        saved_total > 0,
+        "model guidance never saved a query across 1000 cases"
+    );
+}
+
+/// The pinned program set for byte-identity checks (shapes exercising
+/// recursion, higher-order arguments, coercions, and an unsafe path).
+const PROGRAMS: [&str; 4] = [
+    "let f x g = g (x + 1) in
+     let h y = assert (y > 0) in
+     let k n = if n > 0 then f n h else () in
+     k m",
+    "let f x g = g (x + 1) in
+     let h z y = assert (y > z) in
+     let k n = if n >= 0 then f n (h n) else () in
+     k m",
+    "let lock st = assert (st = 0); 1 in
+     let unlock st = assert (st = 1); 0 in
+     let rec loop n st = if n <= 0 then st else loop (n - 1) (unlock (lock st)) in
+     assert (loop n 0 = 0)",
+    "let rec sum n = if n <= 0 then 0 else n + sum (n - 1) in
+     assert (m <= sum m)",
+];
+
+/// Installs `λν.ν > 0` on every integer position so the abstraction issues
+/// real SMT queries (an empty environment would make the comparison
+/// trivial).
+fn with_gt0(t: &AbsTy) -> AbsTy {
+    let nu = Var::new("nu");
+    let gt0 = Predicate::new(
+        nu.clone(),
+        Formula::atom(Atom::gt(LinExpr::var(nu), LinExpr::constant(0))),
+    );
+    match t {
+        AbsTy::Base(SimpleTy::Int, _) => AbsTy::int(vec![gt0]),
+        AbsTy::Base(_, _) => t.clone(),
+        AbsTy::Fun(x, a, b) => AbsTy::fun(x.clone(), with_gt0(a), with_gt0(b)),
+    }
+}
+
+fn gt0_env(src: &str) -> (homc_lang::Compiled, AbsEnv) {
+    let compiled = frontend(src).expect("compiles");
+    let mut env = AbsEnv::initial(&compiled.cps);
+    for scheme in env.schemes.values_mut() {
+        for (_, t) in scheme.iter_mut() {
+            *t = with_gt0(t);
+        }
+    }
+    (compiled, env)
+}
+
+fn render(src: &str, mode: EnumMode) -> String {
+    let (compiled, env) = gt0_env(src);
+    let opts = AbsOptions {
+        enum_mode: mode,
+        ..AbsOptions::default()
+    };
+    let (bp, _) = abstract_program_metered(
+        &compiled.cps,
+        &env,
+        &opts,
+        None,
+        None,
+        &Tracer::disabled(),
+        &Metrics::disabled(),
+    )
+    .expect("abstracts");
+    bp.to_string()
+}
+
+/// Model-guided enumeration must produce the byte-identical abstract
+/// program — guards, value choices, and coercion wrappers included.
+#[test]
+fn abstract_programs_byte_identical_across_enum_modes() {
+    for (i, src) in PROGRAMS.iter().enumerate() {
+        assert_eq!(
+            render(src, EnumMode::Exhaustive),
+            render(src, EnumMode::ModelGuided),
+            "program {i}: enumeration modes produced different abstract programs"
+        );
+    }
+}
+
+/// The transition memo across a simulated refinement step: a second
+/// incremental abstraction under a partially-changed environment must (a)
+/// actually reuse the untouched definitions and (b) still produce the
+/// byte-identical program an eager re-abstraction would.
+#[test]
+fn incremental_reuse_is_byte_identical_across_refinement() {
+    for (i, src) in PROGRAMS.iter().enumerate() {
+        let compiled = frontend(src).expect("compiles");
+        let env0 = AbsEnv::initial(&compiled.cps);
+        // Refine exactly one scheme: the first (in BTreeMap order) whose
+        // types actually change under the new predicate, so at least one
+        // cone fingerprint moves.
+        let mut env1 = env0.clone();
+        let target = env1
+            .schemes
+            .iter()
+            .find(|(_, scheme)| scheme.iter().any(|(_, t)| with_gt0(t) != *t))
+            .map(|(f, _)| f.clone())
+            .expect("some scheme has an integer position");
+        for (_, t) in env1.schemes.get_mut(&target).expect("target scheme") {
+            *t = with_gt0(t);
+        }
+        let opts = AbsOptions::default();
+        let cache = Some(Arc::new(QueryCache::new()));
+        let mut memo = TransitionMemo::new();
+        let run = |env: &AbsEnv, memo: &mut TransitionMemo| {
+            abstract_program_incremental(
+                &compiled.cps,
+                env,
+                &opts,
+                None,
+                cache.clone(),
+                &Tracer::disabled(),
+                &Metrics::disabled(),
+                memo,
+            )
+            .expect("abstracts")
+        };
+        let eager = |env: &AbsEnv| {
+            abstract_program_metered(
+                &compiled.cps,
+                env,
+                &opts,
+                None,
+                cache.clone(),
+                &Tracer::disabled(),
+                &Metrics::disabled(),
+            )
+            .expect("abstracts")
+        };
+
+        let (bp0, s0) = run(&env0, &mut memo);
+        assert_eq!(s0.defs_reused, 0, "program {i}: nothing to reuse on first build");
+        assert_eq!(
+            bp0.to_string(),
+            eager(&env0).0.to_string(),
+            "program {i}: incremental first build diverged from eager"
+        );
+
+        // Unchanged environment: everything must be reused, byte-identically.
+        let (bp_same, s_same) = run(&env0, &mut memo);
+        assert_eq!(
+            s_same.defs_reused,
+            compiled.cps.defs.len() + 1,
+            "program {i}: full reuse expected under an unchanged environment"
+        );
+        assert_eq!(s_same.defs_rebuilt, 0, "program {i}: nothing changed");
+        assert_eq!(bp_same.to_string(), bp0.to_string(), "program {i}: reuse drifted");
+
+        // Refined environment: the touched cone rebuilds, the rest is
+        // reused, and the result matches an eager build from scratch.
+        let (bp1, s1) = run(&env1, &mut memo);
+        assert!(
+            s1.defs_reused > 0,
+            "program {i}: refinement of one scheme must leave something reusable"
+        );
+        assert!(
+            s1.defs_rebuilt > 0,
+            "program {i}: the refined definition must rebuild"
+        );
+        assert_eq!(
+            bp1.to_string(),
+            eager(&env1).0.to_string(),
+            "program {i}: incremental rebuild after refinement diverged from eager"
+        );
+    }
+}
+
+/// Runs one suite program under the given engine configuration.
+fn suite_verdict(src: &str, incremental: bool, mode: EnumMode) -> Verdict {
+    let mut opts = VerifierOptions {
+        incremental_abs: incremental,
+        ..VerifierOptions::default()
+    };
+    opts.abs.enum_mode = mode;
+    verify(src, &opts).expect("no hard error").verdict
+}
+
+/// The whole Table 1 suite: the new engine (memo + model-guided) must agree
+/// with the old engine (eager + exhaustive) on every verdict.
+#[test]
+fn suite_verdicts_identical_between_engines() {
+    for p in suite::SUITE {
+        let new = suite_verdict(p.source, true, EnumMode::ModelGuided);
+        let old = suite_verdict(p.source, false, EnumMode::Exhaustive);
+        assert_eq!(new, old, "{}: engines disagree", p.name);
+    }
+}
+
+/// On a multi-iteration program, iterations after the first must reuse the
+/// definitions refinement did not touch: `abs_defs_reused > 0`, with the
+/// expected (safe) verdict intact. l-zipmap runs 3 CEGAR cycles.
+#[test]
+fn multi_iteration_run_reuses_memoized_definitions() {
+    let p = suite::SUITE
+        .iter()
+        .find(|p| p.name == "l-zipmap")
+        .expect("l-zipmap in suite");
+    let out = verify(p.source, &VerifierOptions::default()).expect("no hard error");
+    assert!(out.verdict.is_safe(), "l-zipmap must verify safe");
+    assert!(out.stats.cycles >= 3, "l-zipmap must take multiple CEGAR cycles");
+    assert!(
+        out.stats.abs_defs_reused > 0,
+        "later iterations must reuse memoized definitions (got 0 reuses over {} cycles)",
+        out.stats.cycles
+    );
+    assert!(
+        out.stats.abs_queries_saved > 0,
+        "memo reuse and model coverage must save abstraction queries"
+    );
+}
