@@ -11,12 +11,16 @@
 //! cycles, the hot-path effort counters, and per-phase peak heap bytes)
 //! plus suite-level aggregates. CI's bench-smoke stage gates on it with
 //! `homc bench-diff BENCH_table1.json <fresh> --gate`.
+//!
+//! With `--ledger <dir>` the run also appends one record per program to the
+//! persistent run ledger (kind `table1`), so benchmark runs join `homc
+//! history` / `homc regress` trend analysis alongside suite and batch runs.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use homc::suite::SUITE;
-use homc::{Verdict, VerifierOptions};
+use homc::{ledger_record, Ledger, Verdict, VerifierOptions};
 use homc_bench::{format_row, run_program, Row};
 
 // Count allocations for the whole benchmark run so each row can report its
@@ -155,15 +159,20 @@ fn to_json(rows: &[Row]) -> String {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut ledger_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--json" => {
+            flag @ ("--json" | "--ledger") => {
                 let Some(p) = args.get(i + 1) else {
-                    eprintln!("table1: --json needs a path");
+                    eprintln!("table1: {flag} needs a path");
                     return ExitCode::FAILURE;
                 };
-                json_path = Some(p.clone());
+                if flag == "--json" {
+                    json_path = Some(p.clone());
+                } else {
+                    ledger_dir = Some(p.clone());
+                }
                 i += 2;
             }
             other => {
@@ -205,6 +214,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("baseline written to {path}");
+    }
+    if let Some(dir) = ledger_dir {
+        let mut records: Vec<_> = rows
+            .iter()
+            .map(|r| {
+                let verdict = match &r.outcome.verdict {
+                    Verdict::Safe => "safe",
+                    Verdict::Unsafe { .. } => "unsafe",
+                    Verdict::Unknown { .. } => "unknown",
+                };
+                ledger_record(
+                    r.name,
+                    verdict,
+                    r.verdict_ok,
+                    r.outcome.stats.total.as_micros() as u64,
+                    Some(&r.outcome.stats),
+                    None,
+                )
+            })
+            .collect();
+        match Ledger::new(dir.as_str()).append("table1", &mut records) {
+            Ok(rep) => println!(
+                "ledger: run {} ({} record(s)) -> {}",
+                rep.run,
+                rep.records,
+                rep.path.display()
+            ),
+            Err(e) => {
+                // The benchmark itself succeeded; a full disk must not
+                // retroactively fail it. Report and move on.
+                eprintln!("table1: ledger append failed: {e}");
+            }
+        }
     }
     if all_ok {
         ExitCode::SUCCESS

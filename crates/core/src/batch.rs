@@ -100,9 +100,14 @@ pub struct BatchOptions {
     pub capture_traces: bool,
     /// Logical trace clock (byte-deterministic streams).
     pub logical: bool,
+    /// Live progress sink shared by the driver (`batch_start`/`job_queued`/
+    /// `batch_job`/`batch_end`), the pool (`pool_job`/`pool_hb`) and every
+    /// job's verifier (`job_phase`). Separate from the per-job trace sinks,
+    /// so job traces are byte-identical with progress on or off.
+    pub progress: Tracer,
     /// Base verifier options cloned for every job. The driver overrides
-    /// `cache`, `cancel` and `tracer`; `fuel` is overridden for jobs under
-    /// an `Exhaust` fault.
+    /// `cache`, `cancel`, `tracer`, `progress` and `job`; `fuel` is
+    /// overridden for jobs under an `Exhaust` fault.
     pub verify: VerifierOptions,
 }
 
@@ -118,6 +123,7 @@ impl Default for BatchOptions {
             trace_dir: None,
             capture_traces: false,
             logical: false,
+            progress: Tracer::disabled(),
             verify: VerifierOptions::default(),
         }
     }
@@ -133,6 +139,17 @@ pub enum JobStatus {
     Failed,
     /// The job degraded: budget, injected fault, panic, cancellation.
     Unknown,
+}
+
+impl JobStatus {
+    /// The wire spelling used by progress events and `--json` output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Passed => "passed",
+            JobStatus::Failed => "failed",
+            JobStatus::Unknown => "unknown",
+        }
+    }
 }
 
 /// One job's terminal report. Every submitted job gets exactly one.
@@ -213,6 +230,18 @@ fn trace_file_name(name: &str) -> String {
 /// unwritable trace dir) detected *before* any job starts; once the pool is
 /// running, every failure mode degrades to a per-job report entry.
 pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchReport> {
+    let progress = &opts.progress;
+    let batch_started = Instant::now();
+    progress.emit("batch_start", |e| {
+        e.num("jobs", jobs.len() as u64)
+            .num("workers", opts.workers as u64)
+            .str("clock", if progress.is_logical() { "logical" } else { "wall" });
+    });
+    for (i, job) in jobs.iter().enumerate() {
+        progress.emit("job_queued", |e| {
+            e.num("job", i as u64).str("name", &job.name);
+        });
+    }
     let disk = opts.cache_dir.as_ref().map(|dir| {
         let mut d = DiskCache::new(dir).with_metrics(opts.verify.metrics.clone());
         if opts.disk_fault.is_some() {
@@ -242,6 +271,8 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
         let mut vopts = opts.verify.clone();
         vopts.cancel = Some(cancel.clone());
         vopts.cache = Some(cache);
+        vopts.progress = progress.clone();
+        vopts.job = i as u64;
         if fault == Some(JobFaultKind::Exhaust) {
             vopts.fuel = Some(1);
         }
@@ -321,6 +352,7 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
         retry: opts.retry,
         watchdog: opts.watchdog,
         metrics: opts.verify.metrics.clone(),
+        progress: progress.clone(),
     };
     let pool_cancel = CancelToken::new();
     let results = run_jobs(pool_jobs, &config, &pool_cancel);
@@ -376,6 +408,33 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
         report.jobs.push(entry);
     }
 
+    // Settlement events go out after the drain, in submission order, so the
+    // tail of the progress stream is deterministic (snapshot-testable) even
+    // though the pool finished jobs in racy order. Wall times are zeroed
+    // under a logical clock for the same reason.
+    for (i, entry) in report.jobs.iter().enumerate() {
+        progress.emit("batch_job", |e| {
+            e.num("job", i as u64)
+                .str("name", &entry.name)
+                .str("status", entry.status.as_str())
+                .str("verdict", &entry.verdict)
+                .num(
+                    "wall_us",
+                    if progress.is_logical() { 0 } else { entry.wall.as_micros() as u64 },
+                )
+                .num("attempts", u64::from(entry.attempts))
+                .num("cache_hits", entry.stats.as_ref().map_or(0, |s| s.cache_hits))
+                .num("disk_hits", entry.stats.as_ref().map_or(0, |s| s.disk_hits));
+        });
+    }
+    progress.emit("batch_end", |e| {
+        e.num("passed", report.passed as u64)
+            .num("failed", report.failed as u64)
+            .num("unknown", report.unknown as u64)
+            .num("dur_us", progress.dur_us(batch_started));
+    });
+    progress.flush();
+
     // Publish the union of every job's freshly solved queries as one new
     // segment. Seeding the union cache with the original disk records marks
     // them as already-persisted, so only genuinely new entries are written.
@@ -393,6 +452,53 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
         report.publish = d.publish(&union)?;
     }
     Ok(report)
+}
+
+/// Schema version of [`render_batch_json`] output; bump on any field change.
+pub const BATCH_SCHEMA: u64 = 1;
+
+/// Machine-readable `homc batch --json` rendering: stable field order,
+/// schema-versioned, newline-terminated. Wall times are zeroed when
+/// `logical` so deterministic pipelines can golden the output.
+pub fn render_batch_json(report: &BatchReport, workers: usize, logical: bool) -> String {
+    use std::fmt::Write as _;
+    let esc = homc_trace::escape_json;
+    let mut s = String::with_capacity(1024);
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"meta\": {{\"schema\": {BATCH_SCHEMA}, \"kind\": \"batch\", \"workers\": {workers}, \"clock\": \"{}\"}},",
+        if logical { "logical" } else { "wall" }
+    );
+    let _ = writeln!(s, "  \"jobs\": [");
+    for (i, j) in report.jobs.iter().enumerate() {
+        let comma = if i + 1 == report.jobs.len() { "" } else { "," };
+        let retry = match &j.retry_detail {
+            Some(d) => esc(d),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": {}, \"status\": \"{}\", \"verdict\": {}, \"wall_us\": {}, \
+             \"attempts\": {}, \"retry_detail\": {}, \"cache_hits\": {}, \"disk_hits\": {}}}{comma}",
+            esc(&j.name),
+            j.status.as_str(),
+            esc(&j.verdict),
+            if logical { 0 } else { j.wall.as_micros() as u64 },
+            j.attempts,
+            retry,
+            j.stats.as_ref().map_or(0, |st| st.cache_hits),
+            j.stats.as_ref().map_or(0, |st| st.disk_hits),
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"totals\": {{\"passed\": {}, \"failed\": {}, \"unknown\": {}, \"disk_hits\": {}}}",
+        report.passed, report.failed, report.unknown, report.disk_hits
+    );
+    s.push_str("}\n");
+    s
 }
 
 #[cfg(test)]
@@ -440,6 +546,55 @@ mod tests {
         assert_eq!(report.failed, 0);
         assert!(report.load.is_none());
         assert!(report.publish.is_none());
+    }
+
+    #[test]
+    fn progress_stream_is_schema_valid_with_deterministic_tail() {
+        let progress = Tracer::memory(true);
+        let opts = BatchOptions {
+            progress: progress.clone(),
+            logical: true,
+            ..BatchOptions::default()
+        };
+        let report = run_batch(vec![job("sum"), job("max")], &opts).unwrap();
+        let text = progress.snapshot().unwrap();
+        homc_trace::validate_trace(&text).unwrap_or_else(|(n, e)| panic!("line {n}: {e}"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"ev\":\"batch_start\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"ev\":\"job_queued\""), "{}", lines[1]);
+        // The tail is settlement in submission order, then the tally.
+        let tail = &lines[lines.len() - 3..];
+        assert!(tail[0].contains("\"name\":\"sum\"") && tail[0].contains("\"wall_us\":0"), "{}", tail[0]);
+        assert!(tail[1].contains("\"name\":\"max\""), "{}", tail[1]);
+        assert!(tail[2].contains("\"ev\":\"batch_end\""), "{}", tail[2]);
+        // Jobs entered CEGAR phases under the progress sink's eye.
+        assert!(text.contains("\"ev\":\"job_phase\""), "{text}");
+
+        let json = render_batch_json(&report, 2, true);
+        assert_eq!(json, render_batch_json(&report, 2, true));
+        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"wall_us\": 0"), "{json}");
+        assert!(json.contains("\"retry_detail\": null"), "{json}");
+    }
+
+    #[test]
+    fn progress_sink_leaves_job_traces_untouched() {
+        // The acceptance bar: logical job traces must be byte-identical with
+        // progress on or off, because progress events go to a separate sink.
+        let base = BatchOptions {
+            capture_traces: true,
+            logical: true,
+            ..BatchOptions::default()
+        };
+        let quiet = run_batch(vec![job("sum"), job("mc91")], &base).unwrap();
+        let noisy_opts = BatchOptions {
+            progress: Tracer::memory(true),
+            ..base
+        };
+        let noisy = run_batch(vec![job("sum"), job("mc91")], &noisy_opts).unwrap();
+        for (q, n) in quiet.jobs.iter().zip(&noisy.jobs) {
+            assert_eq!(q.trace, n.trace, "trace of {} changed under progress", q.name);
+        }
     }
 
     #[test]

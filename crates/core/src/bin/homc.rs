@@ -21,6 +21,19 @@
 //!                                   compare two runs; exit 1 on a threshold
 //!                                   breach, 2 on a verdict flip, 3 when the
 //!                                   inputs are incomparable
+//! homc top <progress.jsonl> [--snapshot] [--interval <secs>]
+//!                                   tail a --progress stream and redraw a
+//!                                   live fleet summary (worker state, queue
+//!                                   depth, per-job phase); --snapshot renders
+//!                                   the current state once, deterministically
+//! homc history <ledger-dir> [program]
+//!                                   per-program latency/verdict trends and
+//!                                   p50/p90 summaries from the run ledger
+//! homc regress <ledger-dir> [--window <n>] [--ratio <r>] [--slack <ms>]
+//!                                   gate the newest ledger run against the
+//!                                   trailing-window median baseline; exit 1
+//!                                   on a latency breach, 2 on a verdict
+//!                                   flip, 3 on an incompatible ledger
 //!
 //! options:
 //!   --timeout <secs>      per-program wall-clock deadline (fractions allowed)
@@ -35,6 +48,16 @@
 //!   --trace-logical <file.jsonl>  same, under a logical clock (sequence
 //!                         numbers instead of timestamps, durations zeroed):
 //!                         byte-identical across runs and machines
+//!   --progress <file.jsonl>  stream live fleet telemetry (queue depth, worker
+//!                         state, per-job CEGAR phase) to a second sink that
+//!                         `homc top` can tail; job traces are byte-identical
+//!                         with progress on or off
+//!   --ledger <dir>        append one checksummed record per program (verdict,
+//!                         per-phase latencies, peak heap, counters, trace
+//!                         digest) to the persistent run ledger that `homc
+//!                         history` and `homc regress` read
+//!   --metrics-out <file>  dump the metrics registry in Prometheus text
+//!                         exposition format after the run
 //! ```
 //!
 //! Every program reports exactly one of `safe`, `unsafe`, or `unknown`; the
@@ -47,10 +70,11 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use homc::{
-    bench_diff, fold_trace, parse_threshold, render_report, run_batch, suite, trace_diff,
+    bench_diff, fold_trace, ledger_record, parse_threshold, progress_complete, regress,
+    render_batch_json, render_history, render_report, render_top, run_batch, suite, trace_diff,
     validate_folded, validate_trace, verify, BatchJob, BatchOptions, DiffOptions, DiskFault,
-    Expected, Fault, FaultPlan, JobFault, JobStatus, Metrics, Tracer, Verdict, VerifierOptions,
-    VerifyStats,
+    Expected, Fault, FaultPlan, JobFault, JobStatus, Ledger, Metrics, RunRecord, Tracer,
+    TrendOptions, Verdict, VerifierOptions, VerifyStats,
 };
 
 // The binary (not the library) installs the counting allocator: tests and
@@ -85,6 +109,9 @@ enum RunStatus {
 /// What one program's run contributes to the suite tally.
 struct RunReport {
     status: RunStatus,
+    /// The verdict as printed (`safe`, `unsafe`, `unknown (...)`, or the
+    /// hard error text) — what the ledger record carries.
+    verdict: String,
     /// Wall-clock time for the whole run, including the front end (the
     /// per-phase `total` in [`VerifyStats`] covers only the CEGAR loop).
     wall: Duration,
@@ -193,6 +220,7 @@ fn run_one(
             }
             RunReport {
                 status,
+                verdict: v,
                 wall,
                 stats: Some(out.stats),
             }
@@ -206,6 +234,7 @@ fn run_one(
             });
             RunReport {
                 status: RunStatus::Failed,
+                verdict: format!("error: {e}"),
                 wall,
                 stats: None,
             }
@@ -218,29 +247,84 @@ fn run_one(
     report
 }
 
+/// Emits the `batch_job` settlement event for one program to the progress
+/// sink. The suite runner is a fleet of one worker, but it speaks the same
+/// progress dialect as `homc batch`, so `homc top` reads either.
+fn emit_settlement(progress: &Tracer, job: u64, name: &str, report: &RunReport) {
+    progress.emit("batch_job", |e| {
+        e.num("job", job)
+            .str("name", name)
+            .str(
+                "status",
+                match report.status {
+                    RunStatus::Passed => "passed",
+                    RunStatus::Failed => "failed",
+                    RunStatus::Unknown => "unknown",
+                },
+            )
+            .str("verdict", &report.verdict)
+            .num(
+                "wall_us",
+                if progress.is_logical() {
+                    0
+                } else {
+                    report.wall.as_micros() as u64
+                },
+            )
+            .num("attempts", 1)
+            .num("cache_hits", report.stats.as_ref().map_or(0, |s| s.cache_hits))
+            .num("disk_hits", report.stats.as_ref().map_or(0, |s| s.disk_hits));
+    });
+}
+
 struct Cli {
     timeout: Option<Duration>,
     faults: FaultPlan,
     suite: bool,
     stats: bool,
     trace: Option<(String, bool)>,
+    progress: Option<String>,
+    ledger: Option<String>,
+    metrics_out: Option<String>,
     target: Option<String>,
 }
 
+/// Every subcommand `main` dispatches on. The usage text and the dispatch
+/// match are audited against this list by the `usage_audit` tests, so the
+/// three can never drift apart silently.
+const SUBCOMMANDS: &[&str] = &[
+    "batch",
+    "profile",
+    "trace-report",
+    "trace-validate",
+    "trace-diff",
+    "bench-diff",
+    "top",
+    "history",
+    "regress",
+];
+
+const USAGE: &str = "\
+usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] [--stats] \
+[--trace <out.jsonl> | --trace-logical <out.jsonl>]\n\
+\x20           [--progress <out.jsonl>] [--ledger <dir>] [--metrics-out <file>] \
+(<file.ml> | --suite [program])\n\
+\x20      homc batch [--workers <n>] [--cache-dir <dir>] [--trace-dir <dir>] [--logical]\n\
+\x20                 [--timeout <secs>] [--watchdog <secs>] [--stats] [--json]\n\
+\x20                 [--progress <out.jsonl>] [--ledger <dir>] [--metrics-out <file>]\n\
+\x20                 [--inject-job <idx:panic|exhaust>]\n\
+\x20                 [--inject-disk <torn:b|trunc:r|flipsum:r|flip:o>] [program|file ...]\n\
+\x20      homc profile (<file.ml> | --suite [program]) [-o <out.folded>]\n\
+\x20      homc trace-report <file.jsonl>\n\
+\x20      homc trace-validate <file.jsonl>\n\
+\x20      homc trace-diff <old.jsonl> <new.jsonl> [--threshold <n=r[:s]>]... [--gate]\n\
+\x20      homc bench-diff <old.json> <new.json> [--threshold <n=r[:s]>]... [--gate]\n\
+\x20      homc top <progress.jsonl> [--snapshot] [--interval <secs>]\n\
+\x20      homc history <ledger-dir> [program]\n\
+\x20      homc regress <ledger-dir> [--window <n>] [--ratio <r>] [--slack <ms>]";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] [--stats] \
-         [--trace <out.jsonl> | --trace-logical <out.jsonl>] (<file.ml> | --suite [program])\n\
-         \x20      homc batch [--workers <n>] [--cache-dir <dir>] [--trace-dir <dir>] [--logical]\n\
-         \x20                 [--timeout <secs>] [--watchdog <secs>] [--stats]\n\
-         \x20                 [--inject-job <idx:panic|exhaust>]\n\
-         \x20                 [--inject-disk <torn:b|trunc:r|flipsum:r|flip:o>] [program|file ...]\n\
-         \x20      homc profile (<file.ml> | --suite [program]) [-o <out.folded>]\n\
-         \x20      homc trace-report <file.jsonl>\n\
-         \x20      homc trace-validate <file.jsonl>\n\
-         \x20      homc trace-diff <old.jsonl> <new.jsonl> [--threshold <n=r[:s]>]... [--gate]\n\
-         \x20      homc bench-diff <old.json> <new.json> [--threshold <n=r[:s]>]... [--gate]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }
 
@@ -251,6 +335,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         suite: false,
         stats: false,
         trace: None,
+        progress: None,
+        ledger: None,
+        metrics_out: None,
         target: None,
     };
     let mut i = 0;
@@ -287,6 +374,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     return Err("at most one of --trace/--trace-logical".to_string());
                 }
                 cli.trace = Some((v.clone(), flag == "--trace-logical"));
+                i += 2;
+            }
+            flag @ ("--progress" | "--ledger" | "--metrics-out") => {
+                let v = args.get(i + 1).ok_or_else(|| format!("{flag} needs a path"))?;
+                let slot = match flag {
+                    "--progress" => &mut cli.progress,
+                    "--ledger" => &mut cli.ledger,
+                    _ => &mut cli.metrics_out,
+                };
+                *slot = Some(v.clone());
                 i += 2;
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -504,11 +601,210 @@ fn cmd_profile(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Writes the metrics registry in Prometheus text exposition format.
+/// Best-effort by design: a failed dump warns on stderr but never changes
+/// the exit code of the run that produced it.
+fn write_metrics_out(path: &str, metrics: &Metrics) {
+    if let Err(e) = std::fs::write(path, metrics.snapshot().render_prometheus()) {
+        eprintln!("homc: cannot write --metrics-out {path}: {e}");
+    }
+}
+
+/// Appends one run's records to the ledger. Ledger trouble is reported but
+/// never changes the run's exit code: observability must not fail the run
+/// it observes.
+fn append_ledger(dir: &str, kind: &str, mut records: Vec<RunRecord>) {
+    if records.is_empty() {
+        return;
+    }
+    // Narration goes to stderr so `--json` stdout stays a pure document.
+    match Ledger::new(dir).append(kind, &mut records) {
+        Ok(r) => eprintln!(
+            "homc: ledger: run {} ({} record(s)) -> {}",
+            r.run,
+            r.records,
+            r.path.display()
+        ),
+        Err(e) => eprintln!("homc: ledger append failed: {e}"),
+    }
+}
+
+/// Loads a ledger directory, narrating quarantines/stale segments on
+/// stderr (they are diagnostics, not data).
+fn load_ledger(dir: &str) -> Option<Vec<RunRecord>> {
+    match Ledger::new(dir).load() {
+        Ok((records, load)) => {
+            if load.quarantined > 0 || load.stale > 0 || load.bad_records > 0 {
+                eprintln!("homc: ledger: {load}");
+            }
+            Some(records)
+        }
+        Err(e) => {
+            eprintln!("homc: cannot load ledger {dir}: {e}");
+            None
+        }
+    }
+}
+
+/// `homc top <progress.jsonl>`: render a live fleet view of a `--progress`
+/// stream. `--snapshot` renders the current state once (deterministic, for
+/// tests and scripts); otherwise the screen is redrawn every `--interval`
+/// seconds until the stream carries `batch_end`.
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut snapshot = false;
+    let mut interval = Duration::from_millis(500);
+    let mut path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--snapshot" => {
+                snapshot = true;
+                i += 1;
+            }
+            "--interval" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("homc: --interval needs a value");
+                    return usage();
+                };
+                match v.parse::<f64>() {
+                    Ok(s) if s.is_finite() && s > 0.0 => interval = Duration::from_secs_f64(s),
+                    _ => {
+                        eprintln!("homc: --interval must be positive seconds, got {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("homc: unknown top flag {flag}");
+                return usage();
+            }
+            other => {
+                if path.is_some() {
+                    eprintln!("homc: unexpected extra argument {other:?}");
+                    return usage();
+                }
+                path = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    loop {
+        let stream = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("homc: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if snapshot {
+            say(format_args!("{}", render_top(&stream).trim_end()));
+            return ExitCode::SUCCESS;
+        }
+        // Home + clear-to-end, then the frame: plain ANSI, no terminal
+        // library. A dumb pipe just sees the frames separated by escapes.
+        let mut out = std::io::stdout();
+        let _ = write!(out, "\x1b[H\x1b[2J{}", render_top(&stream));
+        let _ = out.flush();
+        if progress_complete(&stream) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// `homc history <ledger-dir> [program]`: per-program latency/verdict
+/// trends across every recorded run.
+fn cmd_history(args: &[String]) -> ExitCode {
+    let (Some(dir), filter) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    if args.len() > 2 {
+        eprintln!("homc: history takes at most a ledger dir and a program filter");
+        return usage();
+    }
+    let Some(records) = load_ledger(dir) else {
+        return ExitCode::FAILURE;
+    };
+    say(format_args!(
+        "{}",
+        render_history(&records, filter.map(String::as_str)).trim_end()
+    ));
+    ExitCode::SUCCESS
+}
+
+/// `homc regress <ledger-dir>`: gate the newest ledger run against the
+/// trailing-window median baseline. Exit codes mirror `bench-diff`:
+/// 0 clean, 1 latency breach, 2 verdict flip, 3 incompatible ledger.
+fn cmd_regress(args: &[String]) -> ExitCode {
+    let mut opts = TrendOptions::default();
+    let mut dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            flag @ ("--window" | "--ratio" | "--slack") => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("homc: {flag} needs a value");
+                    return usage();
+                };
+                let bad = |what: &str| {
+                    eprintln!("homc: {flag} must be {what}, got {v:?}");
+                    ExitCode::FAILURE
+                };
+                match flag {
+                    "--window" => match v.parse::<usize>() {
+                        Ok(n) if n > 0 => opts.window = n,
+                        _ => return bad("a positive integer"),
+                    },
+                    "--ratio" => match v.parse::<f64>() {
+                        Ok(r) if r.is_finite() && r > 0.0 => opts.ratio = r,
+                        _ => return bad("a positive number"),
+                    },
+                    _ => match v.parse::<u64>() {
+                        Ok(ms) => opts.slack_us = ms.saturating_mul(1000),
+                        Err(_) => return bad("milliseconds"),
+                    },
+                }
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("homc: unknown regress flag {flag}");
+                return usage();
+            }
+            other => {
+                if dir.is_some() {
+                    eprintln!("homc: unexpected extra argument {other:?}");
+                    return usage();
+                }
+                dir = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        return usage();
+    };
+    let Some(records) = load_ledger(&dir) else {
+        return ExitCode::from(3);
+    };
+    let report = regress(&records, &opts);
+    say(format_args!("{}", report.text.trim_end()));
+    ExitCode::from(report.exit_code())
+}
+
 /// `homc batch`: the crash-safe fleet runner. Every job gets exactly one
 /// report line; the exit code reflects only *failed* (wrong-verdict) jobs.
 fn cmd_batch(args: &[String]) -> ExitCode {
     let mut opts = BatchOptions::default();
     let mut targets: Vec<String> = Vec::new();
+    let mut stats_on = false;
+    let mut json = false;
+    let mut progress_path: Option<String> = None;
+    let mut ledger_dir: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let need = |flag: &str| format!("homc: {flag} needs a value");
@@ -600,8 +896,25 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                 i += 2;
             }
             "--stats" => {
-                opts.verify.metrics = Metrics::new(opts.logical);
+                stats_on = true;
                 i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            flag @ ("--progress" | "--ledger" | "--metrics-out") => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{}", need(flag));
+                    return usage();
+                };
+                let slot = match flag {
+                    "--progress" => &mut progress_path,
+                    "--ledger" => &mut ledger_dir,
+                    _ => &mut metrics_out,
+                };
+                *slot = Some(v.clone());
+                i += 2;
             }
             flag if flag.starts_with("--") => {
                 eprintln!("homc: unknown batch flag {flag}");
@@ -647,7 +960,20 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             }
         }
     }
-    let stats_on = opts.verify.metrics.enabled();
+    // Flags are order-insensitive: metrics and progress sinks are built
+    // only after the whole command line (notably --logical) is parsed.
+    if stats_on || metrics_out.is_some() {
+        opts.verify.metrics = Metrics::new(opts.logical);
+    }
+    if let Some(p) = &progress_path {
+        opts.progress = match Tracer::to_file(std::path::Path::new(p), opts.logical) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("homc: cannot open progress file {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     let report = match run_batch(jobs, &opts) {
         Ok(r) => r,
         Err(e) => {
@@ -655,52 +981,78 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for j in &report.jobs {
-        let retried = if j.attempts > 1 {
-            format!("  (attempts={}{})", j.attempts, match &j.retry_detail {
-                Some(d) => format!(", retried after {d}"),
-                None => String::new(),
-            })
-        } else {
-            String::new()
-        };
-        say(format_args!(
-            "{:12} wall={} -> {}{}{}",
-            j.name,
-            fmt_d(j.wall),
-            j.verdict,
-            if j.status == JobStatus::Failed {
-                "  ** UNEXPECTED **"
+    if json {
+        // Machine mode: stdout carries exactly one JSON document.
+        print!("{}", render_batch_json(&report, opts.workers, opts.logical));
+        let _ = std::io::stdout().flush();
+    } else {
+        for j in &report.jobs {
+            let retried = if j.attempts > 1 {
+                format!("  (attempts={}{})", j.attempts, match &j.retry_detail {
+                    Some(d) => format!(", retried after {d}"),
+                    None => String::new(),
+                })
             } else {
-                ""
-            },
-            retried,
-        ));
-    }
-    say(format_args!(
-        "passed {}, failed {}, unknown {}  ({} jobs, {} workers)",
-        report.passed,
-        report.failed,
-        report.unknown,
-        report.jobs.len(),
-        opts.workers,
-    ));
-    if let Some(load) = &report.load {
-        say(format_args!("cache load: {load}  disk hits {}", report.disk_hits));
-    }
-    if let Some(p) = &report.publish {
-        say(format_args!(
-            "cache publish: {} record(s), {} bytes -> {}",
-            p.records,
-            p.bytes,
-            p.path.display()
-        ));
-    }
-    if stats_on {
-        let rendered = opts.verify.metrics.snapshot().render("  ");
-        if !rendered.is_empty() {
-            say(format_args!("{}", rendered.trim_end()));
+                String::new()
+            };
+            say(format_args!(
+                "{:12} wall={} -> {}{}{}",
+                j.name,
+                fmt_d(j.wall),
+                j.verdict,
+                if j.status == JobStatus::Failed {
+                    "  ** UNEXPECTED **"
+                } else {
+                    ""
+                },
+                retried,
+            ));
         }
+        say(format_args!(
+            "passed {}, failed {}, unknown {}  ({} jobs, {} workers)",
+            report.passed,
+            report.failed,
+            report.unknown,
+            report.jobs.len(),
+            opts.workers,
+        ));
+        if let Some(load) = &report.load {
+            say(format_args!("cache load: {load}  disk hits {}", report.disk_hits));
+        }
+        if let Some(p) = &report.publish {
+            say(format_args!(
+                "cache publish: {} record(s), {} bytes -> {}",
+                p.records,
+                p.bytes,
+                p.path.display()
+            ));
+        }
+        if stats_on {
+            let rendered = opts.verify.metrics.snapshot().render("  ");
+            if !rendered.is_empty() {
+                say(format_args!("{}", rendered.trim_end()));
+            }
+        }
+    }
+    if let Some(dir) = &ledger_dir {
+        let records: Vec<RunRecord> = report
+            .jobs
+            .iter()
+            .map(|j| {
+                ledger_record(
+                    &j.name,
+                    &j.verdict,
+                    j.status == JobStatus::Passed,
+                    j.wall.as_micros() as u64,
+                    j.stats.as_ref(),
+                    j.trace.as_deref(),
+                )
+            })
+            .collect();
+        append_ledger(dir, "batch", records);
+    }
+    if let Some(path) = &metrics_out {
+        write_metrics_out(path, &opts.verify.metrics);
     }
     if report.failed == 0 {
         ExitCode::SUCCESS
@@ -736,8 +1088,22 @@ fn main() -> ExitCode {
         "batch" => {
             return cmd_batch(&args[1..]);
         }
+        "top" => {
+            return cmd_top(&args[1..]);
+        }
+        "history" => {
+            return cmd_history(&args[1..]);
+        }
+        "regress" => {
+            return cmd_regress(&args[1..]);
+        }
         _ => {}
     }
+    debug_assert!(
+        !SUBCOMMANDS.contains(&args[0].as_str()),
+        "subcommand {:?} listed but not dispatched",
+        args[0]
+    );
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
         Err(e) => {
@@ -755,11 +1121,27 @@ fn main() -> ExitCode {
             }
         },
     };
+    // The progress sink is separate from the job tracer by construction:
+    // that separation is what keeps --trace-logical streams byte-identical
+    // with progress on or off. It inherits the job tracer's clock so a
+    // logical run stays deterministic end to end.
+    let progress = match &cli.progress {
+        None => Tracer::disabled(),
+        Some(path) => {
+            match Tracer::to_file(std::path::Path::new(path), tracer.is_logical()) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("homc: cannot open progress file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
     // The budget (deadline + fault plan) is per program: each run_one call
     // builds a fresh Budget from these options. The metrics registry only
-    // exists when --stats will render it; under a logical tracer it zeroes
-    // durations so the run stays reproducible.
-    let metrics = if cli.stats {
+    // exists when --stats or --metrics-out will render it; under a logical
+    // tracer it zeroes durations so the run stays reproducible.
+    let metrics = if cli.stats || cli.metrics_out.is_some() {
         Metrics::new(tracer.is_logical())
     } else {
         Metrics::disabled()
@@ -769,29 +1151,62 @@ fn main() -> ExitCode {
         faults: cli.faults.clone(),
         tracer: tracer.clone(),
         metrics,
+        progress: progress.clone(),
         ..VerifierOptions::default()
     };
 
     if cli.suite {
         let filter = cli.target;
+        let programs: Vec<_> = suite::SUITE
+            .iter()
+            .filter(|p| filter.as_deref().is_none_or(|f| p.name == f))
+            .collect();
+        if programs.is_empty() {
+            eprintln!(
+                "homc: no suite program named {:?}",
+                filter.as_deref().unwrap_or("")
+            );
+            return ExitCode::FAILURE;
+        }
+        // The suite is a fleet of one worker: frame it like a batch so the
+        // progress stream replays in `homc top`.
+        progress.emit("batch_start", |e| {
+            e.num("jobs", programs.len() as u64).num("workers", 1).str(
+                "clock",
+                if progress.is_logical() { "logical" } else { "wall" },
+            );
+        });
+        for (i, p) in programs.iter().enumerate() {
+            progress.emit("job_queued", |e| {
+                e.num("job", i as u64).str("name", p.name);
+            });
+        }
+        let suite_start = Instant::now();
         let (mut passed, mut failed, mut unknown) = (0usize, 0usize, 0usize);
         let mut wall = Duration::ZERO;
         let mut totals = VerifyStats::default();
-        let mut matched = false;
-        for p in suite::SUITE {
-            if let Some(f) = &filter {
-                if p.name != f {
-                    continue;
-                }
-            }
-            matched = true;
-            let report = run_one(p.name, p.source, Some(p.expected), &opts, cli.stats);
+        let mut ledger_records: Vec<RunRecord> = Vec::new();
+        for (i, p) in programs.iter().enumerate() {
+            let mut per = opts.clone();
+            per.job = i as u64;
+            let report = run_one(p.name, p.source, Some(p.expected), &per, cli.stats);
+            emit_settlement(&progress, i as u64, p.name, &report);
             match report.status {
                 RunStatus::Passed => passed += 1,
                 RunStatus::Failed => failed += 1,
                 RunStatus::Unknown => unknown += 1,
             }
             wall += report.wall;
+            if cli.ledger.is_some() {
+                ledger_records.push(ledger_record(
+                    p.name,
+                    &report.verdict,
+                    report.status == RunStatus::Passed,
+                    report.wall.as_micros() as u64,
+                    report.stats.as_ref(),
+                    None,
+                ));
+            }
             if let Some(s) = report.stats {
                 totals.smt_queries += s.smt_queries;
                 totals.cache_hits += s.cache_hits;
@@ -808,13 +1223,13 @@ fn main() -> ExitCode {
                 totals.abs_ctx_truncated += s.abs_ctx_truncated;
             }
         }
-        if !matched {
-            eprintln!(
-                "homc: no suite program named {:?}",
-                filter.as_deref().unwrap_or("")
-            );
-            return ExitCode::FAILURE;
-        }
+        progress.emit("batch_end", |e| {
+            e.num("passed", passed as u64)
+                .num("failed", failed as u64)
+                .num("unknown", unknown as u64)
+                .num("dur_us", progress.dur_us(suite_start));
+        });
+        progress.flush();
         say(format_args!(
             "passed {passed}, failed {failed}, unknown {unknown}  wall={}",
             fmt_d(wall)
@@ -846,6 +1261,12 @@ fn main() -> ExitCode {
             totals.abs_queries_saved,
             totals.abs_ctx_truncated,
         ));
+        if let Some(dir) = &cli.ledger {
+            append_ledger(dir, "suite", ledger_records);
+        }
+        if let Some(path) = &cli.metrics_out {
+            write_metrics_out(path, &opts.metrics);
+        }
         if failed == 0 {
             ExitCode::SUCCESS
         } else {
@@ -862,9 +1283,95 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match run_one(&path, &src, None, &opts, cli.stats).status {
+        progress.emit("batch_start", |e| {
+            e.num("jobs", 1).num("workers", 1).str(
+                "clock",
+                if progress.is_logical() { "logical" } else { "wall" },
+            );
+        });
+        progress.emit("job_queued", |e| {
+            e.num("job", 0).str("name", &path);
+        });
+        let t = Instant::now();
+        let report = run_one(&path, &src, None, &opts, cli.stats);
+        emit_settlement(&progress, 0, &path, &report);
+        progress.emit("batch_end", |e| {
+            e.num("passed", u64::from(report.status == RunStatus::Passed))
+                .num("failed", u64::from(report.status == RunStatus::Failed))
+                .num("unknown", u64::from(report.status == RunStatus::Unknown))
+                .num("dur_us", progress.dur_us(t));
+        });
+        progress.flush();
+        if let Some(dir) = &cli.ledger {
+            append_ledger(
+                dir,
+                "file",
+                vec![ledger_record(
+                    &path,
+                    &report.verdict,
+                    report.status == RunStatus::Passed,
+                    report.wall.as_micros() as u64,
+                    report.stats.as_ref(),
+                    None,
+                )],
+            );
+        }
+        if let Some(p) = &cli.metrics_out {
+            write_metrics_out(p, &opts.metrics);
+        }
+        match report.status {
             RunStatus::Failed => ExitCode::FAILURE,
             RunStatus::Passed | RunStatus::Unknown => ExitCode::SUCCESS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod usage_audit {
+    use super::{SUBCOMMANDS, USAGE};
+
+    /// Forward direction: every dispatched subcommand is documented.
+    #[test]
+    fn every_subcommand_is_in_the_usage_text() {
+        for cmd in SUBCOMMANDS {
+            assert!(
+                USAGE.contains(&format!("homc {cmd} ")),
+                "subcommand {cmd:?} missing from the usage text"
+            );
+        }
+    }
+
+    /// Reverse direction: every `homc <word>` the usage text advertises is
+    /// actually dispatched. Together with the forward test (and the
+    /// debug_assert in main over the same const), renaming or removing a
+    /// subcommand without updating the usage string fails the build's tests
+    /// instead of shipping stale help.
+    #[test]
+    fn every_advertised_subcommand_is_dispatched() {
+        let mut advertised = Vec::new();
+        for line in USAGE.lines() {
+            let mut words = line.split_whitespace().skip_while(|w| *w != "homc");
+            let (Some(_), Some(next)) = (words.next(), words.next()) else {
+                continue;
+            };
+            // `homc [--timeout ...]` is the main mode, not a subcommand.
+            if !next.starts_with(['-', '[', '(', '<']) {
+                advertised.push(next.to_string());
+            }
+        }
+        assert!(!advertised.is_empty(), "usage text lost its homc lines");
+        for cmd in &advertised {
+            assert!(
+                SUBCOMMANDS.contains(&cmd.as_str()),
+                "usage advertises {cmd:?} but main() does not dispatch it"
+            );
+        }
+        // The audit is meaningful only if it sees every subcommand.
+        for cmd in SUBCOMMANDS {
+            assert!(
+                advertised.iter().any(|a| a == cmd),
+                "usage line for {cmd:?} not parsed by the audit"
+            );
         }
     }
 }

@@ -1,0 +1,305 @@
+//! Fleet-view rendering (`homc top`) and run-ledger record assembly.
+//!
+//! [`render_top`] replays a progress event stream (the `--progress` sink:
+//! `batch_start`, `job_queued`, `pool_job`, `pool_hb`, `job_phase`,
+//! `batch_job`, `batch_end`) into a point-in-time fleet summary. It is a
+//! pure function of the stream prefix it is given — the live `homc top`
+//! loop re-reads the file and redraws, the deterministic `--snapshot` mode
+//! renders once — so snapshot tests golden it directly. No ANSI here; the
+//! CLI owns the screen.
+//!
+//! [`ledger_record`] folds one program's outcome into a
+//! [`RunRecord`](homc_serve::RunRecord) for the persistent ledger, with the
+//! counter snapshot from [`stats_counters`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use homc_serve::RunRecord;
+use homc_trace::{parse_json, stable_hash64, JsonValue};
+
+use crate::verifier::VerifyStats;
+
+#[derive(Default)]
+struct JobView {
+    name: String,
+    state: &'static str,
+    worker: Option<u64>,
+    attempt: u64,
+    phase: Option<String>,
+    iter: Option<u64>,
+    verdict: Option<String>,
+}
+
+#[derive(Default)]
+struct FleetView {
+    jobs_total: u64,
+    workers: u64,
+    clock: String,
+    queued: u64,
+    running: u64,
+    done: u64,
+    retried: u64,
+    jobs: BTreeMap<u64, JobView>,
+    tally: Option<(u64, u64, u64, u64)>,
+}
+
+fn num(v: &JsonValue, key: &str) -> u64 {
+    v.get(key)
+        .and_then(JsonValue::as_num)
+        .and_then(|n| u64::try_from(n).ok())
+        .unwrap_or(0)
+}
+
+fn text(v: &JsonValue, key: &str) -> String {
+    v.get(key).and_then(JsonValue::as_str).unwrap_or("").to_string()
+}
+
+fn parse_view(stream: &str) -> FleetView {
+    let mut view = FleetView::default();
+    for line in stream.lines() {
+        let Ok(v) = parse_json(line) else { continue };
+        match v.get("ev").and_then(JsonValue::as_str).unwrap_or("") {
+            "batch_start" => {
+                view.jobs_total = num(&v, "jobs");
+                view.workers = num(&v, "workers");
+                view.clock = text(&v, "clock");
+                view.queued = view.jobs_total;
+            }
+            "job_queued" => {
+                let job = view.jobs.entry(num(&v, "job")).or_default();
+                job.name = text(&v, "name");
+                job.state = "queued";
+            }
+            "pool_hb" => {
+                view.queued = num(&v, "queued");
+                view.running = num(&v, "running");
+                view.done = num(&v, "done");
+                view.retried = num(&v, "retried");
+            }
+            "pool_job" => {
+                let job = view.jobs.entry(num(&v, "job")).or_default();
+                job.worker = Some(num(&v, "worker"));
+                job.attempt = num(&v, "attempt");
+                job.state = match v.get("state").and_then(JsonValue::as_str) {
+                    Some("start") => "running",
+                    Some("retry") => "retrying",
+                    Some("done") => "done",
+                    Some("panic") => "panicked",
+                    Some("cancel") => "cancelled",
+                    _ => job.state,
+                };
+                if job.state != "running" {
+                    job.phase = None;
+                    job.iter = None;
+                }
+            }
+            "job_phase" => {
+                let job = view.jobs.entry(num(&v, "job")).or_default();
+                job.phase = Some(text(&v, "phase"));
+                job.iter = Some(num(&v, "iter"));
+            }
+            "batch_job" => {
+                let job = view.jobs.entry(num(&v, "job")).or_default();
+                job.state = match text(&v, "status").as_str() {
+                    "passed" => "passed",
+                    "failed" => "failed",
+                    _ => "unknown",
+                };
+                job.verdict = Some(text(&v, "verdict"));
+            }
+            "batch_end" => {
+                view.tally = Some((
+                    num(&v, "passed"),
+                    num(&v, "failed"),
+                    num(&v, "unknown"),
+                    num(&v, "dur_us"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    view
+}
+
+/// True once the stream carries a `batch_end` event — the live renderer's
+/// stop condition.
+pub fn progress_complete(stream: &str) -> bool {
+    parse_view(stream).tally.is_some()
+}
+
+/// Renders the fleet summary for a progress-stream prefix. Plain text, one
+/// deterministic layout; same prefix, same output.
+pub fn render_top(stream: &str) -> String {
+    let view = parse_view(stream);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet: {} job(s), {} worker(s), {} clock",
+        view.jobs_total,
+        view.workers,
+        if view.clock.is_empty() { "wall" } else { &view.clock }
+    );
+    let _ = writeln!(
+        out,
+        "queued {}  running {}  done {}  retried {}",
+        view.queued, view.running, view.done, view.retried
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:<16} {:<10} {:>3} {:>3} {:<8} verdict",
+        "job", "name", "state", "wk", "try", "phase"
+    );
+    for (id, job) in &view.jobs {
+        let phase = match (&job.phase, job.iter) {
+            (Some(p), Some(i)) => format!("{p}#{i}"),
+            (Some(p), None) => p.clone(),
+            _ => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:>4} {:<16} {:<10} {:>3} {:>3} {:<8} {}",
+            id,
+            job.name,
+            if job.state.is_empty() { "queued" } else { job.state },
+            job.worker.map_or("-".to_string(), |w| w.to_string()),
+            job.attempt,
+            phase,
+            job.verdict.as_deref().unwrap_or("-")
+        );
+    }
+    match view.tally {
+        Some((passed, failed, unknown, dur_us)) => {
+            let _ = writeln!(
+                out,
+                "tally: {passed} passed, {failed} failed, {unknown} unknown ({:.1}s)",
+                dur_us as f64 / 1e6
+            );
+        }
+        None => {
+            let _ = writeln!(out, "tally: (batch still running)");
+        }
+    }
+    out
+}
+
+/// The counter snapshot a ledger record carries: every headline effort
+/// counter of [`VerifyStats`], keyed by its `--stats` spelling.
+pub fn stats_counters(stats: &VerifyStats) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    let mut put = |k: &str, v: u64| {
+        m.insert(k.to_string(), v);
+    };
+    put("cycles", stats.cycles as u64);
+    put("predicates", stats.predicates as u64);
+    put("final_hbp_size", stats.final_hbp_size as u64);
+    put("retries", stats.retries as u64);
+    put("smt_queries", stats.smt_queries as u64);
+    put("cache_hits", stats.cache_hits);
+    put("cache_misses", stats.cache_misses);
+    put("disk_hits", stats.disk_hits);
+    put("cuts_sliced", stats.cuts_sliced as u64);
+    put("cert_reuse_hits", stats.cert_reuse_hits as u64);
+    put("fm_prefix_hits", stats.fm_prefix_hits);
+    put("worklist_pops", stats.worklist_pops as u64);
+    put("rescans_avoided", stats.rescans_avoided as u64);
+    put("abs_defs_reused", stats.abs_defs_reused as u64);
+    put("abs_defs_rebuilt", stats.abs_defs_rebuilt as u64);
+    put("abs_implicants", stats.abs_implicants as u64);
+    put("abs_queries_saved", stats.abs_queries_saved as u64);
+    put("abs_ctx_truncated", stats.abs_ctx_truncated as u64);
+    m
+}
+
+/// Builds one ledger record from a settled run. `schema`, `run` and `kind`
+/// are stamped by `Ledger::append`; `trace` (when captured) is digested so
+/// two runs can be compared for behavioural identity without storing the
+/// stream.
+pub fn ledger_record(
+    program: &str,
+    verdict: &str,
+    ok: bool,
+    wall_us: u64,
+    stats: Option<&VerifyStats>,
+    trace: Option<&str>,
+) -> RunRecord {
+    let mut r = RunRecord {
+        program: program.to_string(),
+        verdict: verdict.to_string(),
+        ok,
+        wall_us,
+        trace_digest: trace.map_or(0, stable_hash64),
+        ..RunRecord::default()
+    };
+    if let Some(s) = stats {
+        r.abst_us = s.abst.as_micros() as u64;
+        r.mc_us = s.mc.as_micros() as u64;
+        r.cegar_us = s.cegar.as_micros() as u64;
+        r.total_us = s.total.as_micros() as u64;
+        r.peak_bytes = s.peak_bytes;
+        r.counters = stats_counters(s);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STREAM: &str = "\
+{\"ts\":0,\"ev\":\"batch_start\",\"jobs\":2,\"workers\":2,\"clock\":\"logical\"}\n\
+{\"ts\":1,\"ev\":\"job_queued\",\"job\":0,\"name\":\"sum\"}\n\
+{\"ts\":2,\"ev\":\"job_queued\",\"job\":1,\"name\":\"mc91\"}\n\
+{\"ts\":3,\"ev\":\"pool_job\",\"job\":0,\"worker\":0,\"attempt\":1,\"state\":\"start\"}\n\
+{\"ts\":4,\"ev\":\"pool_hb\",\"queued\":1,\"running\":1,\"done\":0,\"retried\":0}\n\
+{\"ts\":5,\"ev\":\"job_phase\",\"job\":0,\"iter\":2,\"phase\":\"mc\"}\n";
+
+    #[test]
+    fn mid_run_snapshot_shows_live_state() {
+        let out = render_top(STREAM);
+        assert!(out.contains("fleet: 2 job(s), 2 worker(s), logical clock"), "{out}");
+        assert!(out.contains("queued 1  running 1  done 0"), "{out}");
+        assert!(out.contains("mc#2"), "{out}");
+        assert!(out.contains("mc91"), "{out}");
+        assert!(out.contains("batch still running"), "{out}");
+        assert!(!progress_complete(STREAM));
+        // Pure over the prefix: same input, same render.
+        assert_eq!(out, render_top(STREAM));
+    }
+
+    #[test]
+    fn settled_stream_renders_tally() {
+        let settled = format!(
+            "{STREAM}\
+{{\"ts\":6,\"ev\":\"pool_job\",\"job\":0,\"worker\":0,\"attempt\":1,\"state\":\"done\"}}\n\
+{{\"ts\":7,\"ev\":\"batch_job\",\"job\":0,\"name\":\"sum\",\"status\":\"passed\",\"verdict\":\"safe\",\"wall_us\":0,\"attempts\":1,\"cache_hits\":4,\"disk_hits\":0}}\n\
+{{\"ts\":8,\"ev\":\"batch_job\",\"job\":1,\"name\":\"mc91\",\"status\":\"unknown\",\"verdict\":\"unknown (deadline)\",\"wall_us\":0,\"attempts\":2,\"cache_hits\":0,\"disk_hits\":0}}\n\
+{{\"ts\":9,\"ev\":\"batch_end\",\"passed\":1,\"failed\":0,\"unknown\":1,\"dur_us\":2500000}}\n"
+        );
+        let out = render_top(&settled);
+        assert!(progress_complete(&settled));
+        assert!(out.contains("tally: 1 passed, 0 failed, 1 unknown (2.5s)"), "{out}");
+        assert!(out.contains("passed"), "{out}");
+        assert!(out.contains("unknown (deadline)"), "{out}");
+        // Phase column resets once the job leaves the running state.
+        let sum_row = out.lines().find(|l| l.contains(" sum ")).unwrap();
+        assert!(sum_row.contains(" - "), "{sum_row}");
+    }
+
+    #[test]
+    fn ledger_record_carries_counters_and_digest() {
+        let stats = VerifyStats {
+            cycles: 3,
+            cache_hits: 17,
+            ..VerifyStats::default()
+        };
+        let r = ledger_record("sum", "safe", true, 1234, Some(&stats), Some("trace"));
+        assert_eq!(r.counters["cycles"], 3);
+        assert_eq!(r.counters["cache_hits"], 17);
+        assert_eq!(r.trace_digest, stable_hash64("trace"));
+        assert_eq!(r.wall_us, 1234);
+        let bare = ledger_record("sum", "safe", true, 1, None, None);
+        assert_eq!(bare.trace_digest, 0);
+        assert!(bare.counters.is_empty());
+    }
+}

@@ -44,12 +44,15 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod fleet;
 pub mod suite;
 pub mod verifier;
 
 pub use batch::{
-    run_batch, BatchJob, BatchOptions, BatchReport, JobFault, JobFaultKind, JobReport, JobStatus,
+    render_batch_json, run_batch, BatchJob, BatchOptions, BatchReport, JobFault, JobFaultKind,
+    JobReport, JobStatus, BATCH_SCHEMA,
 };
+pub use fleet::{ledger_record, progress_complete, render_top, stats_counters};
 pub use homc_budget::{
     Budget, BudgetError, Fault, FaultKind, FaultPlan, FaultSpecError, LimitKind, Phase,
 };
@@ -62,7 +65,10 @@ pub use homc_trace::{
     parse_json, render_report, stable_hash64, validate_line, validate_trace, JsonValue,
     SchemaError, Tracer,
 };
-pub use homc_serve::{seed_cache, DiskCache, DiskFault, LoadReport, PublishReport, RetryPolicy};
+pub use homc_serve::{
+    regress, render_history, seed_cache, DiskCache, DiskFault, Ledger, LedgerLoad, LoadReport,
+    PublishReport, RegressReport, RetryPolicy, RunRecord, TrendOptions, RECORD_SCHEMA,
+};
 pub use homc_smt::{CancelToken, QueryCache};
 pub use suite::{Expected, SuiteProgram, SUITE};
 pub use verifier::{

@@ -95,6 +95,14 @@ pub struct VerifierOptions {
     /// any phase stops the run with a `Cancelled` budget error (degrading to
     /// [`Verdict::Unknown`], like every other exhaustion).
     pub cancel: Option<CancelToken>,
+    /// Live progress sink, distinct from [`tracer`](Self::tracer): phase
+    /// *starts* emit `job_phase` events here so a fleet renderer can show
+    /// what each worker is doing right now. Keeping the sink separate is
+    /// what makes logical job traces byte-identical with progress on or
+    /// off. Disabled by default.
+    pub progress: Tracer,
+    /// Job index stamped onto progress events (0 for single runs).
+    pub job: u64,
 }
 
 impl Default for VerifierOptions {
@@ -113,6 +121,8 @@ impl Default for VerifierOptions {
             metrics: Metrics::disabled(),
             cache: None,
             cancel: None,
+            progress: Tracer::disabled(),
+            job: 0,
         }
     }
 }
@@ -714,10 +724,21 @@ fn run_iteration(
                 .num("dur_us", tracer.dur_us(started));
         });
     };
+    // Phase *starts* go to the progress sink (not the job trace, which
+    // records spans at phase end): a fleet renderer needs to know what a
+    // worker is doing while the phase is still running.
+    let pstart = |phase: &str| {
+        opts.progress.emit("job_phase", |e| {
+            e.num("job", opts.job)
+                .num("iter", iteration as u64)
+                .str("phase", phase);
+        });
+    };
 
     // Step 1: predicate abstraction (workers share the run-wide cache).
     // Each step runs under a memory-accounting phase tag so the counting
     // allocator (when installed) attributes watermarks per phase.
+    pstart("abs");
     let t = Instant::now();
     let mem_tag = mem::phase_scope(Phase::Abs);
     let abs_result = if opts.incremental_abs {
@@ -771,6 +792,7 @@ fn run_iteration(
     rec.hbp_terms = bp.size();
 
     // Step 2: higher-order model checking.
+    pstart("mc");
     let t = Instant::now();
     let mem_tag = mem::phase_scope(Phase::Mc);
     let mc = (|| {
@@ -803,6 +825,7 @@ fn run_iteration(
     };
 
     // Step 3: replay the abstract error path (feasibility's trace build).
+    pstart("feas");
     let t = Instant::now();
     let mem_tag = mem::phase_scope(Phase::Feas);
     let labels = source_labels(&path);
@@ -842,6 +865,7 @@ fn run_iteration(
     span("feas", t);
 
     // Step 4: feasibility verdict + interpolation-driven refinement.
+    pstart("interp");
     let t = Instant::now();
     let mem_tag = mem::phase_scope(Phase::Interp);
     let refine_opts = RefineOptions {

@@ -73,10 +73,12 @@ pub enum Counter {
     /// Relevant context components dropped by the `max_context_atoms` cap
     /// while selecting guard predicates (a precision, not soundness, loss).
     AbsCtxTruncated,
+    /// Run-ledger segments or records rejected by an integrity check.
+    LedgerQuarantine,
 }
 
 /// All counters, in display order.
-pub const COUNTERS: [Counter; 14] = [
+pub const COUNTERS: [Counter; 15] = [
     Counter::SmtSolves,
     Counter::InterpCuts,
     Counter::McRounds,
@@ -91,6 +93,7 @@ pub const COUNTERS: [Counter; 14] = [
     Counter::AbsImplicants,
     Counter::AbsQueriesSaved,
     Counter::AbsCtxTruncated,
+    Counter::LedgerQuarantine,
 ];
 
 impl Counter {
@@ -115,6 +118,28 @@ impl Counter {
             Counter::AbsImplicants => "abs_implicants",
             Counter::AbsQueriesSaved => "abs_queries_saved",
             Counter::AbsCtxTruncated => "abs_ctx_truncated",
+            Counter::LedgerQuarantine => "ledger_quarantine",
+        }
+    }
+
+    /// One-line description, used as the Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::SmtSolves => "Queries the SMT solver actually solved",
+            Counter::InterpCuts => "Interpolation cuts with a non-trivial interpolant",
+            Counter::McRounds => "Model-checker worklist batches drained",
+            Counter::AbsDefs => "Definitions abstracted across all iterations",
+            Counter::JobsDone => "Batch jobs that ran to a verdict",
+            Counter::JobsRetried => "Batch job attempts re-queued after retryable exhaustion",
+            Counter::JobsUnknown => "Batch jobs degraded to unknown",
+            Counter::DiskHits => "Query-cache hits answered from the disk tier",
+            Counter::DiskQuarantine => "Disk-cache records or segments rejected by integrity checks",
+            Counter::AbsDefsReused => "Definitions reused verbatim from the transition memo",
+            Counter::AbsDefsRebuilt => "Definitions re-abstracted after a cone fingerprint change",
+            Counter::AbsImplicants => "Feasible implicants from model-guided enumeration",
+            Counter::AbsQueriesSaved => "SMT queries avoided by incremental abstraction",
+            Counter::AbsCtxTruncated => "Context components dropped by the context-atom cap",
+            Counter::LedgerQuarantine => "Run-ledger segments or records rejected by integrity checks",
         }
     }
 }
@@ -168,6 +193,20 @@ impl Hist {
             Hist::HbpTerms => "hbp_terms",
             Hist::WorklistDepth => "worklist_depth",
             Hist::JobUs => "job_us",
+        }
+    }
+
+    /// One-line description, used as the Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Hist::SmtSolveUs => "Latency of solved SMT queries in microseconds",
+            Hist::AbsDefUs => "Latency of one definition's abstraction task in microseconds",
+            Hist::IterUs => "Latency of one whole CEGAR iteration in microseconds",
+            Hist::InterpSize => "AST size of discovered interpolants",
+            Hist::HbpRules => "Boolean-program rule count per iteration",
+            Hist::HbpTerms => "Boolean-program AST size per iteration",
+            Hist::WorklistDepth => "Model-checker worklist batch size at each drain",
+            Hist::JobUs => "Wall-clock latency of one batch job attempt in microseconds",
         }
     }
 }
@@ -478,6 +517,45 @@ impl Snapshot {
         }
         out
     }
+
+    /// Renders the whole registry in the Prometheus text exposition format
+    /// (`--metrics-out`): every counter as `homc_<name>_total`, every
+    /// histogram as cumulative `_bucket{le="..."}` lines over the log₂
+    /// bucket bounds plus `_sum`/`_count`, each family preceded by its
+    /// `# HELP` and `# TYPE` lines. Every metric is emitted — zero values
+    /// included — so scrapers see a stable, complete family set.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in COUNTERS {
+            let name = c.name();
+            let _ = writeln!(out, "# HELP homc_{name}_total {}", c.help());
+            let _ = writeln!(out, "# TYPE homc_{name}_total counter");
+            let _ = writeln!(out, "homc_{name}_total {}", self.counter(c));
+        }
+        for h in HISTS {
+            let name = h.name();
+            let s = self.hist(h);
+            let _ = writeln!(out, "# HELP homc_{name} {}", h.help());
+            let _ = writeln!(out, "# TYPE homc_{name} histogram");
+            let mut cumulative = 0u64;
+            for (i, b) in s.buckets.iter().enumerate() {
+                cumulative += b;
+                if i == NBUCKETS - 1 {
+                    let _ = writeln!(out, "homc_{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "homc_{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        bucket_bound(i)
+                    );
+                }
+            }
+            let _ = writeln!(out, "homc_{name}_sum {}", s.sum);
+            let _ = writeln!(out, "homc_{name}_count {}", s.count);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -580,6 +658,38 @@ mod tests {
         assert!((90..=100).contains(&p90), "p90 bound {p90}");
         assert!(p50 <= p90);
         assert_eq!(h.quantile_bound(1.0), 100);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_complete_and_cumulative() {
+        let m = Metrics::new(false);
+        m.add(Counter::SmtSolves, 3);
+        m.observe(Hist::InterpSize, 5);
+        m.observe(Hist::InterpSize, 1_000_000);
+        let text = m.snapshot().render_prometheus();
+        // Every family is present (zeros included) with HELP + TYPE lines.
+        for c in COUNTERS {
+            let fam = format!("homc_{}_total", c.name());
+            assert!(text.contains(&format!("# HELP {fam} ")), "{fam}");
+            assert!(text.contains(&format!("# TYPE {fam} counter")), "{fam}");
+        }
+        for h in HISTS {
+            let fam = format!("homc_{}", h.name());
+            assert!(text.contains(&format!("# TYPE {fam} histogram")), "{fam}");
+        }
+        assert!(text.contains("homc_smt_solves_total 3"), "{text}");
+        // Buckets are cumulative and the +Inf bucket equals the count.
+        assert!(text.contains("homc_interp_size_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("homc_interp_size_count 2"), "{text}");
+        assert!(text.contains("homc_interp_size_sum 1000005"), "{text}");
+        // Sample lines match the Prometheus name grammar.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "bad metric name in {line:?}"
+            );
+        }
     }
 
     #[test]

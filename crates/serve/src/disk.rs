@@ -325,9 +325,7 @@ impl DiskCache {
         let mut record_offsets = Vec::with_capacity(records);
         for p in &payloads {
             record_offsets.push(bytes.len());
-            bytes.extend_from_slice(
-                format!("{:08x} {:016x} {p}\n", p.len(), stable_hash64(p)).as_bytes(),
-            );
+            bytes.extend_from_slice(frame_line(p).as_bytes());
             kept += 1;
             if let Some(DiskFault::Truncate { keep_records }) = self.fault {
                 if kept >= keep_records {
@@ -392,16 +390,24 @@ enum SegmentVerdict {
     Stale,
 }
 
-struct Frame<'a> {
-    payload: &'a str,
-    sum: u64,
-    consumed: usize,
+pub(crate) struct Frame<'a> {
+    pub(crate) payload: &'a str,
+    pub(crate) sum: u64,
+    pub(crate) consumed: usize,
+}
+
+/// Composes one checksummed record line (the inverse of [`parse_frame`]):
+/// 8 hex digits of payload length, a space, 16 hex digits of FNV-1a 64
+/// checksum, a space, the payload, a newline. Shared by the disk cache and
+/// the run ledger so both stores speak the same frame format.
+pub(crate) fn frame_line(payload: &str) -> String {
+    format!("{:08x} {:016x} {payload}\n", payload.len(), stable_hash64(payload))
 }
 
 /// Parses one record frame from the head of `rest`; `None` on any framing
 /// violation (short input, bad hex, missing separators or newline, length
 /// running past the end, non-UTF-8 payload).
-fn parse_frame(rest: &[u8]) -> Option<Frame<'_>> {
+pub(crate) fn parse_frame(rest: &[u8]) -> Option<Frame<'_>> {
     if rest.len() < 8 + 1 + 16 + 1 {
         return None;
     }

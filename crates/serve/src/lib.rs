@@ -17,6 +17,12 @@
 //!   that cold-starts cleanly on mismatch, and a corruption-quarantine path.
 //!   Records carry **full canonical keys** ([`mod@codec`]), so a byte flip
 //!   can cost a cache hit but can never change a verdict.
+//! * **A persistent run ledger with trend analytics** ([`mod@ledger`],
+//!   [`mod@trend`]): every suite/batch/bench run appends one checksummed
+//!   JSONL run file (same frame format as the disk tier, same quarantine
+//!   discipline — but stale versions are kept, history is not rebuildable),
+//!   and `homc history`/`homc regress` read the accumulated records for
+//!   per-program trends and a trailing-window regression gate.
 //!
 //! Deterministic fault injection covers the new failure surfaces: torn
 //! writes, truncated segments, checksum flips ([`DiskFault`]), job-thread
@@ -28,9 +34,15 @@
 
 pub mod codec;
 pub mod disk;
+pub mod ledger;
 pub mod pool;
+pub mod trend;
 
 pub use codec::{decode_record, encode_check, encode_cube, CodecError, Record};
 pub use disk::{seed_cache, DiskCache, DiskFault, LoadReport, PublishReport, MAGIC, VERSION};
 pub use homc_budget::CancelToken;
+pub use ledger::{
+    AppendReport, Ledger, LedgerLoad, RunRecord, LEDGER_MAGIC, LEDGER_VERSION, RECORD_SCHEMA,
+};
 pub use pool::{run_jobs, Attempt, Job, JobOutcome, JobResult, PoolConfig, RetryPolicy};
+pub use trend::{regress, render_history, RegressReport, TrendOptions};

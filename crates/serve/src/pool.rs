@@ -20,12 +20,13 @@
 
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
 
 use homc_budget::CancelToken;
 use homc_metrics::{Counter, Hist, Metrics};
+use homc_trace::Tracer;
 
 /// Retry policy for retryable exhaustion (deadline/fuel classes the budget
 /// marks as worth another attempt).
@@ -73,6 +74,11 @@ pub struct PoolConfig {
     pub watchdog: Option<Duration>,
     /// Fleet telemetry sink (jobs done/retried, per-attempt latency).
     pub metrics: Metrics,
+    /// Live progress sink: every job lifecycle transition emits a schema-
+    /// validated `pool_job` event followed by a `pool_hb` heartbeat with the
+    /// fleet-wide queue/occupancy tallies. Disabled by default — a disabled
+    /// tracer makes the whole path a no-op.
+    pub progress: Tracer,
 }
 
 impl Default for PoolConfig {
@@ -82,6 +88,7 @@ impl Default for PoolConfig {
             retry: RetryPolicy::default(),
             watchdog: None,
             metrics: Metrics::disabled(),
+            progress: Tracer::disabled(),
         }
     }
 }
@@ -138,6 +145,53 @@ pub struct JobResult<T> {
     pub outcome: JobOutcome<T>,
 }
 
+/// Shared live-telemetry state. Every lifecycle transition emits a
+/// `pool_job` event and then a `pool_hb` heartbeat carrying the fleet-wide
+/// tallies, so a tailing renderer (`homc top`) can rebuild the pool state
+/// from the stream alone. `queued` is derived (`total - started`): jobs
+/// leave the queue exactly when a worker takes them, including drained
+/// cancellations.
+struct PoolProgress<'a> {
+    tracer: &'a Tracer,
+    total: u64,
+    started: AtomicU64,
+    running: AtomicU64,
+    done: AtomicU64,
+    retried: AtomicU64,
+}
+
+impl PoolProgress<'_> {
+    fn new(tracer: &Tracer, total: usize) -> PoolProgress<'_> {
+        PoolProgress {
+            tracer,
+            total: total as u64,
+            started: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+        }
+    }
+
+    fn transition(&self, job: usize, worker: usize, attempt: u32, state: &str) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer.emit("pool_job", |e| {
+            e.num("job", job as u64)
+                .num("worker", worker as u64)
+                .num("attempt", u64::from(attempt))
+                .str("state", state);
+        });
+        let started = self.started.load(Ordering::Relaxed);
+        self.tracer.emit("pool_hb", |e| {
+            e.num("queued", self.total.saturating_sub(started))
+                .num("running", self.running.load(Ordering::Relaxed))
+                .num("done", self.done.load(Ordering::Relaxed))
+                .num("retried", self.retried.load(Ordering::Relaxed));
+        });
+    }
+}
+
 /// Runs every job to a terminal state and returns one report per job, in
 /// submission order. Never panics out: a panicking job is trapped into its
 /// own report. `pool_cancel` drains the queue cooperatively: running jobs
@@ -167,6 +221,7 @@ pub fn run_jobs<T: Send>(
     let running: Vec<Mutex<Option<(Instant, CancelToken)>>> =
         (0..workers).map(|_| Mutex::new(None)).collect();
     let done = AtomicBool::new(false);
+    let progress = PoolProgress::new(&config.progress, n);
 
     std::thread::scope(|scope| {
         let (running_ref, done_ref) = (&running, &done);
@@ -179,6 +234,7 @@ pub fn run_jobs<T: Send>(
                 let slots = &slots;
                 let results = &results;
                 let running = &running;
+                let progress = &progress;
                 scope.spawn(move || {
                     quiet_panics(|| {
                         while let Some(idx) = next_job(w, queues) {
@@ -187,7 +243,10 @@ pub fn run_jobs<T: Send>(
                                 .expect("pool poisoned")
                                 .take()
                                 .expect("job slot taken twice");
+                            progress.started.fetch_add(1, Ordering::Relaxed);
                             let result = if pool_cancel.is_cancelled() {
+                                progress.done.fetch_add(1, Ordering::Relaxed);
+                                progress.transition(idx, w, 0, "cancel");
                                 JobResult {
                                     index: idx,
                                     attempts: 0,
@@ -195,7 +254,7 @@ pub fn run_jobs<T: Send>(
                                     outcome: JobOutcome::Cancelled,
                                 }
                             } else {
-                                run_one(idx, job, config, pool_cancel, &running[w])
+                                run_one(idx, w, job, config, pool_cancel, &running[w], progress)
                             };
                             *results[idx].lock().expect("pool poisoned") = Some(result);
                         }
@@ -243,12 +302,15 @@ fn next_job(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
 }
 
 /// Runs one job to its terminal state (attempts + retries).
+#[allow(clippy::too_many_arguments)]
 fn run_one<T>(
     index: usize,
+    worker: usize,
     mut job: Job<T>,
     config: &PoolConfig,
     pool_cancel: &CancelToken,
     my_running: &Mutex<Option<(Instant, CancelToken)>>,
+    progress: &PoolProgress<'_>,
 ) -> JobResult<T> {
     let metrics = &config.metrics;
     let mut attempts = 0u32;
@@ -258,14 +320,19 @@ fn run_one<T>(
             job.cancel.cancel();
         }
         attempts += 1;
+        progress.running.fetch_add(1, Ordering::Relaxed);
+        progress.transition(index, worker, attempts, "start");
         let started = Instant::now();
         *my_running.lock().expect("pool poisoned") = Some((started, job.cancel.clone()));
         let attempt = panic::catch_unwind(AssertUnwindSafe(|| (job.run)(attempts - 1)));
         *my_running.lock().expect("pool poisoned") = None;
         metrics.observe_dur(Hist::JobUs, started);
+        progress.running.fetch_sub(1, Ordering::Relaxed);
         match attempt {
             Err(payload) => {
                 metrics.incr(Counter::JobsDone);
+                progress.done.fetch_add(1, Ordering::Relaxed);
+                progress.transition(index, worker, attempts, "panic");
                 return JobResult {
                     index,
                     attempts,
@@ -277,6 +344,8 @@ fn run_one<T>(
             }
             Ok(Attempt::Done(value)) => {
                 metrics.incr(Counter::JobsDone);
+                progress.done.fetch_add(1, Ordering::Relaxed);
+                progress.transition(index, worker, attempts, "done");
                 return JobResult {
                     index,
                     attempts,
@@ -289,6 +358,8 @@ fn run_one<T>(
                 let retries_used = attempts - 1;
                 if retries_used >= config.retry.max_retries || pool_cancel.is_cancelled() {
                     metrics.incr(Counter::JobsDone);
+                    progress.done.fetch_add(1, Ordering::Relaxed);
+                    progress.transition(index, worker, attempts, "done");
                     return JobResult {
                         index,
                         attempts,
@@ -297,6 +368,8 @@ fn run_one<T>(
                     };
                 }
                 metrics.incr(Counter::JobsRetried);
+                progress.retried.fetch_add(1, Ordering::Relaxed);
+                progress.transition(index, worker, attempts, "retry");
                 interruptible_sleep(config.retry.backoff(attempts), pool_cancel);
             }
         }
@@ -524,6 +597,37 @@ mod tests {
         };
         let results = run_jobs(jobs, &config, &CancelToken::new());
         assert_eq!(results[0].outcome, JobOutcome::Done("cancelled"));
+    }
+
+    #[test]
+    fn progress_stream_is_schema_valid_and_drains() {
+        let tracer = Tracer::memory(true);
+        let config = PoolConfig {
+            workers: 2,
+            retry: quick_retry(),
+            progress: tracer.clone(),
+            ..PoolConfig::default()
+        };
+        let jobs: Vec<Job<u32>> = (0..5).map(|i| plain_job(move |_| Attempt::Done(i))).collect();
+        run_jobs(jobs, &config, &CancelToken::new());
+        let text = tracer.snapshot().unwrap();
+        homc_trace::validate_trace(&text).unwrap_or_else(|(n, e)| panic!("line {n}: {e}"));
+        let state = |s: &str| {
+            text.lines()
+                .filter(|l| l.contains(&format!("\"state\":\"{s}\"")))
+                .count()
+        };
+        assert_eq!(state("start"), 5);
+        assert_eq!(state("done"), 5);
+        let last_hb = text
+            .lines()
+            .rev()
+            .find(|l| l.contains("\"ev\":\"pool_hb\""))
+            .expect("heartbeats present");
+        assert!(
+            last_hb.contains("\"queued\":0") && last_hb.contains("\"done\":5"),
+            "{last_hb}"
+        );
     }
 
     #[test]

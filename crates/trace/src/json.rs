@@ -66,6 +66,14 @@ impl JsonValue {
         }
     }
 
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// The fields, if this is an object.
     pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
         match self {

@@ -160,6 +160,41 @@ fn render_run(out: &mut String, r: &Run) {
             text(it, "outcome"),
         );
     }
+    // Where did the run actually spend its time? Sum every span per phase
+    // across all iterations, rendered in pipeline order (abs → mc → feas →
+    // interp, then any other phase alphabetically). Zero under a logical
+    // clock, where durations are deliberately zeroed — the section is
+    // omitted rather than printing a row of 0%.
+    let mut phase_totals: BTreeMap<&str, i128> = BTreeMap::new();
+    for phases in r.spans.values() {
+        for (p, us) in phases {
+            *phase_totals.entry(p.as_str()).or_insert(0) += us;
+        }
+    }
+    let spent: i128 = phase_totals.values().sum();
+    if spent > 0 {
+        const ORDER: &[&str] = &["abs", "mc", "feas", "interp"];
+        let mut parts = Vec::new();
+        let mut part = |phase: &str, us: i128| {
+            parts.push(format!("{phase} {} ms ({}%)", ms(us), us * 100 / spent));
+        };
+        for phase in ORDER {
+            if let Some(us) = phase_totals.get(phase) {
+                part(phase, *us);
+            }
+        }
+        for (phase, us) in &phase_totals {
+            if !ORDER.contains(phase) {
+                part(phase, *us);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  phase totals: {} — {} ms across phases",
+            parts.join(", "),
+            ms(spent)
+        );
+    }
     for f in &r.faults {
         let _ = writeln!(
             out,
@@ -241,6 +276,10 @@ mod tests {
         let report = render_report(trace);
         assert!(report.contains("== p1 — 1 iteration(s), safe"), "{report}");
         assert!(report.contains("4/40"), "{report}");
+        assert!(
+            report.contains("phase totals: abs 1.5 ms (100%) — 1.5 ms across phases"),
+            "{report}"
+        );
         assert!(report.contains("top 2 SMT queries"), "{report}");
         // "aa" (1000 µs total) outranks "bb" (50 µs).
         let aa = report.find("(x > 0)").expect("aa present");

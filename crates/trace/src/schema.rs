@@ -134,6 +134,75 @@ static EVENT_SCHEMAS: &[EventSchema] = &[
             ("retries", FieldTy::Count),
         ],
     },
+    // --- fleet progress events (the `--progress` sink) ---------------------
+    EventSchema {
+        // A batch driver announcing its plan before any job starts.
+        ev: "batch_start",
+        fields: &[
+            ("jobs", FieldTy::Count),
+            ("workers", FieldTy::Count),
+            ("clock", FieldTy::Enum(&["wall", "logical"])),
+        ],
+    },
+    EventSchema {
+        // Job index -> program name mapping, one per submitted job.
+        ev: "job_queued",
+        fields: &[("job", FieldTy::Count), ("name", FieldTy::Str)],
+    },
+    EventSchema {
+        // Pool-side job lifecycle transition, stamped with the worker id.
+        ev: "pool_job",
+        fields: &[
+            ("job", FieldTy::Count),
+            ("worker", FieldTy::Count),
+            ("attempt", FieldTy::Count),
+            ("state", FieldTy::Enum(&["start", "retry", "done", "panic", "cancel"])),
+        ],
+    },
+    EventSchema {
+        // Fleet heartbeat: queue depth and worker occupancy at a transition.
+        ev: "pool_hb",
+        fields: &[
+            ("queued", FieldTy::Count),
+            ("running", FieldTy::Count),
+            ("done", FieldTy::Count),
+            ("retried", FieldTy::Count),
+        ],
+    },
+    EventSchema {
+        // A verifier job entering a CEGAR phase (progress sink only — the
+        // per-job trace keeps the end-stamped `span` events).
+        ev: "job_phase",
+        fields: &[
+            ("job", FieldTy::Count),
+            ("iter", FieldTy::Count),
+            ("phase", FieldTy::Enum(PHASES)),
+        ],
+    },
+    EventSchema {
+        // A job settling with its verdict and headline stats.
+        ev: "batch_job",
+        fields: &[
+            ("job", FieldTy::Count),
+            ("name", FieldTy::Str),
+            ("status", FieldTy::Enum(&["passed", "failed", "unknown"])),
+            ("verdict", FieldTy::Str),
+            ("wall_us", FieldTy::Count),
+            ("attempts", FieldTy::Count),
+            ("cache_hits", FieldTy::Count),
+            ("disk_hits", FieldTy::Count),
+        ],
+    },
+    EventSchema {
+        // The batch tally; `homc top` treats this as end-of-stream.
+        ev: "batch_end",
+        fields: &[
+            ("passed", FieldTy::Count),
+            ("failed", FieldTy::Count),
+            ("unknown", FieldTy::Count),
+            ("dur_us", FieldTy::Count),
+        ],
+    },
 ];
 
 /// A schema violation.
@@ -260,6 +329,13 @@ mod tests {
             r#"{"ts":3,"ev":"fault","phase":"smt","kind":"error","detail":"planned"}"#,
             r#"{"ts":4,"ev":"verdict","verdict":"safe","cycles":2,"retries":0}"#,
             r#"{"ts":5,"ev":"run_end","dur_us":0}"#,
+            r#"{"ts":6,"ev":"batch_start","jobs":4,"workers":2,"clock":"logical"}"#,
+            r#"{"ts":7,"ev":"job_queued","job":0,"name":"sum"}"#,
+            r#"{"ts":8,"ev":"pool_job","job":0,"worker":1,"attempt":1,"state":"start"}"#,
+            r#"{"ts":9,"ev":"pool_hb","queued":3,"running":1,"done":0,"retried":0}"#,
+            r#"{"ts":10,"ev":"job_phase","job":0,"iter":2,"phase":"mc"}"#,
+            r#"{"ts":11,"ev":"batch_job","job":0,"name":"sum","status":"passed","verdict":"safe","wall_us":0,"attempts":1,"cache_hits":9,"disk_hits":0}"#,
+            r#"{"ts":12,"ev":"batch_end","passed":4,"failed":0,"unknown":0,"dur_us":0}"#,
         ];
         for line in ok {
             validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
@@ -286,6 +362,11 @@ mod tests {
         // Negative count.
         assert!(matches!(
             validate_line(r#"{"ts":0,"ev":"run_end","dur_us":-1}"#),
+            Err(SchemaError::BadField { .. })
+        ));
+        // Unknown pool lifecycle state.
+        assert!(matches!(
+            validate_line(r#"{"ts":0,"ev":"pool_job","job":0,"worker":0,"attempt":1,"state":"zzz"}"#),
             Err(SchemaError::BadField { .. })
         ));
         // No ts.

@@ -111,6 +111,46 @@ if ! grep -q 'abs_defs_reused=[1-9]' "$ABS_SMOKE"; then
     exit 1
 fi
 
+# Ledger smoke: the fleet-observability loop end to end. Two batch runs
+# append checksummed records to a scratch ledger; `homc history` must
+# render a per-program trend over both runs; `homc regress` must gate the
+# second run cleanly against the first (exit 0 — two steady runs of the
+# same build cannot breach a 1.5x median gate with 100 ms slack). The
+# progress stream written along the way must be schema-valid and replay
+# through `homc top --snapshot`.
+LEDGER_DIR=target/ledger-smoke
+LEDGER_PROGRESS=target/ledger-progress.jsonl
+LEDGER_HISTORY=target/ledger-history.txt
+rm -rf "$LEDGER_DIR"
+run cargo run --release --offline --bin homc -- batch --workers 2 \
+    --ledger "$LEDGER_DIR" --progress "$LEDGER_PROGRESS" sum max mc91
+run cargo run --release --offline --bin homc -- batch --workers 2 \
+    --ledger "$LEDGER_DIR" sum max mc91
+run cargo run --release --offline --bin homc -- trace-validate "$LEDGER_PROGRESS"
+run cargo run --release --offline --bin homc -- top --snapshot "$LEDGER_PROGRESS"
+run cargo run --release --offline --bin homc -- history "$LEDGER_DIR" | tee "$LEDGER_HISTORY"
+if ! grep -q '3 program(s) over 2 run(s)' "$LEDGER_HISTORY"; then
+    echo "tier1: ledger-smoke: history did not see both runs" >&2
+    exit 1
+fi
+run cargo run --release --offline --bin homc -- regress "$LEDGER_DIR"
+
+# Prometheus lint: --metrics-out must emit well-formed text exposition —
+# every sample line's metric name matches [a-z_][a-z0-9_]*, every family
+# has # HELP and # TYPE lines, every sample value is an integer.
+PROM_OUT=target/metrics-smoke.prom
+run cargo run --release --offline --bin homc -- --suite intro1 --metrics-out "$PROM_OUT"
+test -s "$PROM_OUT"
+if grep -vE '^(# (HELP|TYPE) [a-z_][a-z0-9_]* .*|[a-z_][a-z0-9_]*(\{[^}]*\})? [0-9]+)$' "$PROM_OUT" | grep -q .; then
+    echo "tier1: prometheus-lint: malformed exposition line(s):" >&2
+    grep -vE '^(# (HELP|TYPE) [a-z_][a-z0-9_]* .*|[a-z_][a-z0-9_]*(\{[^}]*\})? [0-9]+)$' "$PROM_OUT" >&2
+    exit 1
+fi
+if ! grep -q '^# HELP ' "$PROM_OUT" || ! grep -q '^# TYPE ' "$PROM_OUT"; then
+    echo "tier1: prometheus-lint: missing HELP/TYPE lines" >&2
+    exit 1
+fi
+
 # Bench smoke: run Table 1 at full budget to a scratch file first and gate
 # it against the checked-in baseline with bench-diff — a totals.wall_s
 # regression past the gate thresholds (or any verdict flip) fails the

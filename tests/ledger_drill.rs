@@ -1,0 +1,228 @@
+//! Ledger durability drill (mirrors `diskcache_drill.rs` for the run
+//! ledger): flip or truncate bytes in a run file and assert that
+//!
+//! * the damage is **detected** — the load report counts a quarantined
+//!   file and the `ledger_quarantine` counter is nonzero,
+//! * a damaged run file is rejected **whole** (a torn tail can never feed
+//!   half a run's records into a trend median), and
+//! * the trend verdict is never *wrong*: on a clean history, corruption may
+//!   cost history but must keep `regress` clean — it must never
+//!   manufacture a breach or a flip.
+//!
+//! Plus the `homc regress` exit-code goldens: 0 clean, 1 latency breach,
+//! 2 verdict flip, 3 incompatible ledger — driven through the real binary.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use homc::{
+    regress, stable_hash64, Counter, Ledger, Metrics, RunRecord, TrendOptions,
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("homc-ledger-drill-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn homc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_homc"))
+}
+
+/// One synthetic settled run: both suite programs at steady latency.
+fn steady_run() -> Vec<RunRecord> {
+    ["sum", "mc91"]
+        .iter()
+        .map(|name| RunRecord {
+            program: (*name).to_string(),
+            verdict: "safe".to_string(),
+            ok: true,
+            wall_us: 1_000_000,
+            total_us: 900_000,
+            ..RunRecord::default()
+        })
+        .collect()
+}
+
+/// Appends `n` steady runs to a fresh ledger at `dir`.
+fn seed_history(dir: &Path, n: usize) -> Ledger {
+    let ledger = Ledger::new(dir);
+    for _ in 0..n {
+        let mut records = steady_run();
+        ledger.append("drill", &mut records).expect("append");
+    }
+    ledger
+}
+
+#[test]
+fn byte_flips_quarantine_whole_files_and_never_fake_a_regression() {
+    let base = tmpdir("flip");
+    seed_history(&base.join("pristine"), 3);
+    let newest = base.join("pristine").join("run-000003.led");
+    let bytes = fs::read(&newest).expect("run file readable");
+    let header_len = bytes.iter().position(|&b| b == b'\n').expect("header") + 1;
+    // One offset per frame class: header magic, length field, checksum
+    // (record offset +9), payload (+26) — and a payload byte of the
+    // *second* record, to prove rejection is whole-file, not per-record.
+    let second_record = bytes[header_len..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("first record ends")
+        + header_len
+        + 1;
+    let classes = [
+        ("header", 0),
+        ("length", header_len),
+        ("checksum", header_len + 9),
+        ("payload", header_len + 26),
+        ("second-record", second_record + 26),
+    ];
+    for (class, offset) in classes {
+        assert!(offset < bytes.len(), "{class}: offset {offset} in range");
+        let dir = base.join(class);
+        seed_history(&dir, 3);
+        let target = dir.join("run-000003.led");
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 0x01;
+        fs::write(&target, &corrupt).unwrap();
+
+        let metrics = Metrics::new(false);
+        let (records, load) = Ledger::new(&dir)
+            .with_metrics(metrics.clone())
+            .load()
+            .expect("load never hard-fails on content");
+        assert!(
+            load.quarantined > 0 || load.stale > 0,
+            "{class}: the flip at offset {offset} must be detected, got {load}"
+        );
+        if load.stale == 0 {
+            assert!(
+                metrics.snapshot().counter(Counter::LedgerQuarantine) > 0,
+                "{class}: quarantine counter must be nonzero"
+            );
+            assert!(
+                !target.exists(),
+                "{class}: damaged file must be moved aside"
+            );
+        }
+        // Whole-file rejection: either all of run 3's records survive (the
+        // flip hit a non-loaded region... impossible here) or none do.
+        let run3 = records.iter().filter(|r| r.run == 3).count();
+        assert_eq!(run3, 0, "{class}: damaged run must contribute 0 records");
+        // Two pristine steady runs remain: the trend verdict stays clean.
+        let report = regress(&records, &TrendOptions::default());
+        assert_eq!(
+            report.exit_code(),
+            0,
+            "{class}: corruption manufactured a verdict: {}",
+            report.text
+        );
+    }
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn truncation_rejects_the_whole_run_file() {
+    let base = tmpdir("trunc");
+    seed_history(&base, 3);
+    let newest = base.join("run-000003.led");
+    let bytes = fs::read(&newest).expect("run file readable");
+    // Cut mid-way through the final record (a torn write at power loss).
+    for cut in [bytes.len() - 1, bytes.len() - 10, bytes.len() / 2] {
+        fs::write(&newest, &bytes[..cut]).unwrap();
+        let (records, load) = Ledger::new(&base).load().expect("load");
+        assert!(load.quarantined > 0, "cut at {cut}: {load}");
+        assert_eq!(
+            records.iter().filter(|r| r.run == 3).count(),
+            0,
+            "cut at {cut}: torn run must contribute no records"
+        );
+        let report = regress(&records, &TrendOptions::default());
+        assert_eq!(report.exit_code(), 0, "cut at {cut}: {}", report.text);
+        // Re-seed run 3 for the next cut (quarantine renamed it away).
+        let _ = fs::remove_file(base.join("run-000003.led.quarantined"));
+        fs::write(&newest, &bytes).unwrap();
+    }
+    let _ = fs::remove_dir_all(&base);
+}
+
+// ---------------------------------------------------------------------------
+// `homc regress` exit-code goldens through the real binary.
+
+fn regress_on(dir: &Path) -> (i32, String) {
+    let out = homc()
+        .arg("regress")
+        .arg(dir)
+        .output()
+        .expect("homc regress runs");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn regress_exit_codes_are_golden() {
+    let base = tmpdir("golden");
+
+    // 0: steady history, newest run at baseline latency.
+    let ledger = seed_history(&base, 3);
+    let (code, text) = regress_on(&base);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("ok"), "{text}");
+    // Determinism: the same ledger yields byte-identical output twice.
+    assert_eq!(regress_on(&base), (code, text.clone()));
+
+    // 1: a 2× wall-time slowdown of a single program breaches the gate
+    // (2.0 > 1.5× median + 100 ms slack).
+    let mut slow = steady_run();
+    slow[0].wall_us = 2_000_000;
+    ledger.append("drill", &mut slow).expect("append slow run");
+    let (code, text) = regress_on(&base);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("sum"), "{text}");
+
+    // 2: a verdict flip on the newest run outranks the breach.
+    let mut flip = steady_run();
+    flip[1].verdict = "unsafe".to_string();
+    flip[1].ok = false;
+    ledger.append("drill", &mut flip).expect("append flip run");
+    let (code, text) = regress_on(&base);
+    assert_eq!(code, 2, "{text}");
+    assert!(text.contains("mc91"), "{text}");
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn regress_exits_3_on_incompatible_record_schema() {
+    let base = tmpdir("foreign");
+    seed_history(&base, 2);
+    // Hand-compose a run file from a future generation: correct container
+    // header and checksummed framing, but a record schema this build does
+    // not speak. The loader keeps it (history is not rebuildable); the
+    // trend layer must refuse to interpret it.
+    let payload = "{\"schema\": 999, \"run\": 3, \"kind\": \"drill\", \
+                   \"program\": \"sum\", \"verdict\": \"safe\", \"ok\": 1}";
+    let file = format!(
+        "homc-ledger v1\n{:08x} {:016x} {payload}\n",
+        payload.len(),
+        stable_hash64(payload)
+    );
+    fs::write(base.join("run-000003.led"), file).unwrap();
+    let (code, text) = regress_on(&base);
+    assert_eq!(code, 3, "{text}");
+    assert!(text.contains("schema"), "{text}");
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn insufficient_history_is_clean_not_an_error() {
+    let base = tmpdir("short");
+    seed_history(&base, 1);
+    let (code, text) = regress_on(&base);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("insufficient history"), "{text}");
+    let _ = fs::remove_dir_all(&base);
+}
