@@ -71,10 +71,100 @@ pub struct TransitionMemo {
     entries: Vec<Option<MemoEntry>>,
 }
 
+/// A portable snapshot of one memo entry, used by the cross-run artifact
+/// store: the task index and definition name it belongs to, the cone
+/// fingerprint it was built under, the query tallies of the original
+/// build (credited as savings when the entry is replayed), and the
+/// abstract definitions themselves.
+#[derive(Clone, Debug)]
+pub struct MemoDefExport {
+    /// Task index: `i < defs.len()` is definition `i`, `defs.len()` the
+    /// entry wrapper.
+    pub index: usize,
+    /// The definition's name (`main` for the entry wrapper) — an identity
+    /// check against positional drift between runs.
+    pub name: FunName,
+    /// The cone fingerprint the entry was built under.
+    pub fp: u64,
+    /// SAT queries the original build spent.
+    pub sat_queries: usize,
+    /// Coercion wrappers the original build emitted.
+    pub coercions: usize,
+    /// Context truncations the original build recorded.
+    pub ctx_truncated: usize,
+    /// The abstract output: coercion wrappers plus the definition (or the
+    /// entry wrapper).
+    pub defs: Vec<BDef>,
+}
+
 impl TransitionMemo {
     /// An empty memo: the first abstraction through it builds everything.
     pub fn new() -> TransitionMemo {
         TransitionMemo::default()
+    }
+
+    /// Snapshots every populated entry for persistence. `program` supplies
+    /// the definition names (the entry-wrapper task is named after `main`).
+    pub fn export_entries(&self, program: &Program) -> Vec<MemoDefExport> {
+        let n = program.defs.len();
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                let e = e.as_ref()?;
+                let name = if i < n {
+                    program.defs[i].name.clone()
+                } else {
+                    program.main.clone()
+                };
+                Some(MemoDefExport {
+                    index: i,
+                    name,
+                    fp: e.fp,
+                    sat_queries: e.stats.sat_queries,
+                    coercions: e.stats.coercions,
+                    ctx_truncated: e.stats.ctx_truncated,
+                    defs: e.defs.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Seeds one entry from a persisted snapshot, warming the memo before
+    /// the first iteration of a re-verification run. Returns `false` (and
+    /// stores nothing) when the snapshot does not line up with `program` —
+    /// out-of-range index or a different definition name at that position.
+    ///
+    /// A seeded entry is only ever *replayed* if its recorded cone
+    /// fingerprint matches the live environment's, so a stale seed costs a
+    /// rebuild, never correctness; the final `BProgram::check` in
+    /// [`abstract_program_incremental`] re-validates the assembled program
+    /// regardless.
+    pub fn seed_entry(&mut self, program: &Program, e: MemoDefExport) -> bool {
+        self.ensure_cones(program);
+        let n = program.defs.len();
+        if e.index > n {
+            return false;
+        }
+        let name = if e.index < n {
+            &program.defs[e.index].name
+        } else {
+            &program.main
+        };
+        if name != &e.name {
+            return false;
+        }
+        self.entries[e.index] = Some(MemoEntry {
+            fp: e.fp,
+            defs: e.defs,
+            stats: AbsStats {
+                sat_queries: e.sat_queries,
+                coercions: e.coercions,
+                ctx_truncated: e.ctx_truncated,
+                ..AbsStats::default()
+            },
+        });
+        true
     }
 
     /// Computes (once) the dependency cone of every task. The entry

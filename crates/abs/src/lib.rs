@@ -42,5 +42,5 @@ pub use abstract_prog::{
     abstract_program, abstract_program_budgeted, abstract_program_cached,
     abstract_program_metered, abstract_program_traced, AbsError, AbsOptions, AbsStats, EnumMode,
 };
-pub use incremental::{abstract_program_incremental, TransitionMemo};
+pub use incremental::{abstract_program_incremental, MemoDefExport, TransitionMemo};
 pub use types::{AbsEnv, AbsTy, Predicate};

@@ -23,10 +23,12 @@
 
 pub mod enumerate;
 pub mod refine;
+pub mod seed;
 pub mod shp;
 pub mod slice;
 
 pub use enumerate::gen_p;
+pub use seed::seed_env;
 pub use refine::{
     check_feasibility, discover_predicates, discover_predicates_budgeted,
     discover_predicates_cached, discover_predicates_metered, discover_predicates_traced,

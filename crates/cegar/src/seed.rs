@@ -1,0 +1,129 @@
+//! Cross-run predicate seeding: warm-start CEGAR from a prior run's env.
+//!
+//! When a program is resubmitted after an edit, the predicate environment
+//! that made the *previous* submission verify is a strong candidate set
+//! for the unchanged part of the new one. Seeding is sound by
+//! construction: predicates are only candidates — the abstraction treats
+//! them as questions to ask the SMT solver, never as assumed facts — so a
+//! wrong or stale seed costs iterations (or a few wasted queries), never
+//! verdicts. The seeding below is nonetheless conservative: a prior
+//! scheme is adopted only for definitions whose depth-1 dependency cone
+//! is unchanged per the kernel manifest, and only when its shape still
+//! matches the current initial scheme.
+
+use std::collections::BTreeSet;
+
+use homc_abs::AbsEnv;
+use homc_lang::kernel::{Expr, FunName, Program};
+use homc_smt::Var;
+
+/// Collects the `rand`-bound variables of a program — the keys
+/// `AbsEnv::rand_sites` may legitimately contain for it.
+fn rand_vars(program: &Program) -> BTreeSet<Var> {
+    fn walk(e: &Expr, out: &mut BTreeSet<Var>) {
+        match e {
+            Expr::Let(x, rhs, body) => {
+                if matches!(rhs.as_ref(), Expr::Rand) {
+                    out.insert(x.clone());
+                }
+                walk(rhs, out);
+                walk(body, out);
+            }
+            Expr::Choice(l, r) => {
+                walk(l, out);
+                walk(r, out);
+            }
+            Expr::Assume(_, e) => walk(e, out),
+            Expr::Value(_) | Expr::Call(_, _) | Expr::Op(_, _) | Expr::Rand | Expr::Fail => {}
+        }
+    }
+    let mut out = BTreeSet::new();
+    for d in &program.defs {
+        walk(&d.body, &mut out);
+    }
+    out
+}
+
+/// Seeds `env` (a fresh [`AbsEnv::initial`] for `program`) with the
+/// predicate schemes of `prior`, restricted to `unchanged` definitions,
+/// plus `prior`'s rand-site predicates for variables the current program
+/// still binds. Returns the number of predicates seeded.
+///
+/// A prior scheme is adopted only when its parameter list still lines up
+/// with the current one (same names, same simple types) — the initial
+/// scheme is predicate-free, so wholesale replacement under that guard is
+/// exactly `AbsTy::merge` without the shape-mismatch panic.
+pub fn seed_env(
+    env: &mut AbsEnv,
+    prior: &AbsEnv,
+    program: &Program,
+    unchanged: &BTreeSet<FunName>,
+) -> usize {
+    let before = env.fingerprint();
+    for f in unchanged {
+        let (Some(cur), Some(old)) = (env.schemes.get(f), prior.schemes.get(f)) else {
+            continue;
+        };
+        let compatible = cur.len() == old.len()
+            && cur
+                .iter()
+                .zip(old.iter())
+                .all(|((x, t), (y, u))| x == y && t.simple() == u.simple());
+        if compatible {
+            let seeded = old.clone();
+            env.schemes.insert(f.clone(), seeded);
+        }
+    }
+    let live = rand_vars(program);
+    for (x, preds) in &prior.rand_sites {
+        if !live.contains(x) {
+            continue;
+        }
+        let slot = env.rand_sites.entry(x.clone()).or_default();
+        for p in preds {
+            if !slot.iter().any(|q| q.alpha_eq(p)) {
+                slot.push(p.clone());
+            }
+        }
+    }
+    env.fingerprint().saturating_sub(before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homc_lang::frontend;
+    use homc_lang::manifest::Manifest;
+
+    const SRC: &str = "let f x g = g (x + 1) in
+                       let h y = assert (y > 0) in
+                       let k n = if n > 0 then f n h else () in
+                       k m";
+
+    #[test]
+    fn seeding_an_identical_env_is_idempotent() {
+        let p = frontend(SRC).unwrap().cps;
+        let prior = AbsEnv::initial(&p);
+        let mut env = AbsEnv::initial(&p);
+        let m = Manifest::of(&p);
+        let unchanged = m.unchanged_defs(&m);
+        assert_eq!(unchanged.len(), p.defs.len());
+        let seeded = seed_env(&mut env, &prior, &p, &unchanged);
+        assert_eq!(seeded, 0, "initial envs carry no predicates");
+        assert_eq!(env.fingerprint(), prior.fingerprint());
+    }
+
+    #[test]
+    fn seeding_is_restricted_to_unchanged_defs() {
+        let p = frontend(SRC).unwrap().cps;
+        // Manufacture a "prior" env by renaming nothing but pretending only
+        // one def is unchanged: every other scheme must stay initial.
+        let prior = AbsEnv::initial(&p);
+        let mut env = AbsEnv::initial(&p);
+        let only: BTreeSet<FunName> = [p.defs[0].name.clone()].into_iter().collect();
+        seed_env(&mut env, &prior, &p, &only);
+        // Shapes were identical, so the env is unchanged — the point is
+        // that no panic or spurious growth occurs on a partial seed.
+        assert_eq!(env.fingerprint(), AbsEnv::initial(&p).fingerprint());
+    }
+}

@@ -29,7 +29,7 @@ use homc_smt::{CancelToken, QueryCache};
 use homc_trace::Tracer;
 
 use crate::suite::Expected;
-use crate::verifier::{verify, UnknownReason, Verdict, VerifierOptions, VerifyStats};
+use crate::verifier::{verify, ArtifactConfig, UnknownReason, Verdict, VerifierOptions, VerifyStats};
 
 /// A deterministic fault injected into one batch job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +89,10 @@ pub struct BatchOptions {
     pub watchdog: Option<Duration>,
     /// Directory of the persistent cache tier. `None` runs memory-only.
     pub cache_dir: Option<PathBuf>,
+    /// Directory of the cross-run artifact store. Each job loads/publishes
+    /// the artifact keyed by its own name, so a resubmitted batch re-verifies
+    /// only the edited dependency cones. `None` runs cold.
+    pub artifacts_dir: Option<PathBuf>,
     /// Deterministic disk fault applied to the segment published at the end.
     pub disk_fault: Option<DiskFault>,
     /// Deterministic per-job faults.
@@ -118,6 +122,7 @@ impl Default for BatchOptions {
             retry: RetryPolicy::default(),
             watchdog: None,
             cache_dir: None,
+            artifacts_dir: None,
             disk_fault: None,
             job_faults: Vec::new(),
             trace_dir: None,
@@ -219,7 +224,13 @@ fn tally(verdict: &Verdict, expected: Option<Expected>) -> JobStatus {
 fn trace_file_name(name: &str) -> String {
     let safe: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     format!("{safe}.jsonl")
 }
@@ -235,7 +246,14 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
     progress.emit("batch_start", |e| {
         e.num("jobs", jobs.len() as u64)
             .num("workers", opts.workers as u64)
-            .str("clock", if progress.is_logical() { "logical" } else { "wall" });
+            .str(
+                "clock",
+                if progress.is_logical() {
+                    "logical"
+                } else {
+                    "wall"
+                },
+            );
     });
     for (i, job) in jobs.iter().enumerate() {
         progress.emit("job_queued", |e| {
@@ -273,6 +291,10 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
         vopts.cache = Some(cache);
         vopts.progress = progress.clone();
         vopts.job = i as u64;
+        vopts.artifacts = opts.artifacts_dir.as_ref().map(|dir| ArtifactConfig {
+            dir: dir.clone(),
+            key: job.name.clone(),
+        });
         if fault == Some(JobFaultKind::Exhaust) {
             vopts.fuel = Some(1);
         }
@@ -293,7 +315,11 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
             tracer.emit("run_start", |e| {
                 e.str("name", &name).str(
                     "clock",
-                    if tracer.is_logical() { "logical" } else { "wall" },
+                    if tracer.is_logical() {
+                        "logical"
+                    } else {
+                        "wall"
+                    },
                 );
             });
             let t = Instant::now();
@@ -376,10 +402,7 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
             JobOutcome::Panicked { detail } => JobReport {
                 name: job.name.clone(),
                 status: JobStatus::Unknown,
-                verdict: format!(
-                    "unknown ({})",
-                    UnknownReason::InternalFault(detail.clone())
-                ),
+                verdict: format!("unknown ({})", UnknownReason::InternalFault(detail.clone())),
                 wall: Duration::ZERO,
                 attempts: res.attempts,
                 retry_detail: res.retry_detail,
@@ -420,10 +443,17 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
                 .str("verdict", &entry.verdict)
                 .num(
                     "wall_us",
-                    if progress.is_logical() { 0 } else { entry.wall.as_micros() as u64 },
+                    if progress.is_logical() {
+                        0
+                    } else {
+                        entry.wall.as_micros() as u64
+                    },
                 )
                 .num("attempts", u64::from(entry.attempts))
-                .num("cache_hits", entry.stats.as_ref().map_or(0, |s| s.cache_hits))
+                .num(
+                    "cache_hits",
+                    entry.stats.as_ref().map_or(0, |s| s.cache_hits),
+                )
                 .num("disk_hits", entry.stats.as_ref().map_or(0, |s| s.disk_hits));
         });
     }
@@ -564,7 +594,11 @@ mod tests {
         assert!(lines[1].contains("\"ev\":\"job_queued\""), "{}", lines[1]);
         // The tail is settlement in submission order, then the tally.
         let tail = &lines[lines.len() - 3..];
-        assert!(tail[0].contains("\"name\":\"sum\"") && tail[0].contains("\"wall_us\":0"), "{}", tail[0]);
+        assert!(
+            tail[0].contains("\"name\":\"sum\"") && tail[0].contains("\"wall_us\":0"),
+            "{}",
+            tail[0]
+        );
         assert!(tail[1].contains("\"name\":\"max\""), "{}", tail[1]);
         assert!(tail[2].contains("\"ev\":\"batch_end\""), "{}", tail[2]);
         // Jobs entered CEGAR phases under the progress sink's eye.
@@ -593,7 +627,11 @@ mod tests {
         };
         let noisy = run_batch(vec![job("sum"), job("mc91")], &noisy_opts).unwrap();
         for (q, n) in quiet.jobs.iter().zip(&noisy.jobs) {
-            assert_eq!(q.trace, n.trace, "trace of {} changed under progress", q.name);
+            assert_eq!(
+                q.trace, n.trace,
+                "trace of {} changed under progress",
+                q.name
+            );
         }
     }
 

@@ -58,6 +58,13 @@
 //!                         history` and `homc regress` read
 //!   --metrics-out <file>  dump the metrics registry in Prometheus text
 //!                         exposition format after the run
+//!   --artifacts-dir <dir> persist each program's winning predicate
+//!                         environment, per-definition abstractions, and
+//!                         interpolants; a re-run after an edit diffs the
+//!                         per-definition manifest and re-verifies only the
+//!                         changed dependency cones (seeding is candidate-
+//!                         only, so it can speed a run up but never change
+//!                         its verdict)
 //! ```
 //!
 //! Every program reports exactly one of `safe`, `unsafe`, or `unknown`; the
@@ -72,9 +79,9 @@ use std::time::{Duration, Instant};
 use homc::{
     bench_diff, fold_trace, ledger_record, parse_threshold, progress_complete, regress,
     render_batch_json, render_history, render_report, render_top, run_batch, suite, trace_diff,
-    validate_folded, validate_trace, verify, BatchJob, BatchOptions, DiffOptions, DiskFault,
-    Expected, Fault, FaultPlan, JobFault, JobStatus, Ledger, Metrics, RunRecord, Tracer,
-    TrendOptions, Verdict, VerifierOptions, VerifyStats,
+    validate_folded, validate_trace, verify, ArtifactConfig, BatchJob, BatchOptions, DiffOptions,
+    DiskFault, Expected, Fault, FaultPlan, JobFault, JobStatus, Ledger, Metrics, RunRecord,
+    Tracer, TrendOptions, Verdict, VerifierOptions, VerifyStats,
 };
 
 // The binary (not the library) installs the counting allocator: tests and
@@ -130,7 +137,11 @@ fn run_one(
     tracer.emit("run_start", |e| {
         e.str("name", name).str(
             "clock",
-            if tracer.is_logical() { "logical" } else { "wall" },
+            if tracer.is_logical() {
+                "logical"
+            } else {
+                "wall"
+            },
         );
     });
     // The registry accumulates across the suite; the per-program report is
@@ -196,6 +207,14 @@ fn run_one(
                     out.stats.abs_implicants,
                     out.stats.abs_queries_saved,
                     out.stats.abs_ctx_truncated,
+                ));
+                say(format_args!(
+                    "{:12} reverify_defs_skipped={} reverify_preds_seeded={} \
+                     artifact_quarantine={}",
+                    "",
+                    out.stats.reverify_defs_skipped,
+                    out.stats.reverify_preds_seeded,
+                    out.stats.artifact_quarantine,
                 ));
             }
             if show_stats && out.stats.peak_bytes > 0 {
@@ -272,8 +291,14 @@ fn emit_settlement(progress: &Tracer, job: u64, name: &str, report: &RunReport) 
                 },
             )
             .num("attempts", 1)
-            .num("cache_hits", report.stats.as_ref().map_or(0, |s| s.cache_hits))
-            .num("disk_hits", report.stats.as_ref().map_or(0, |s| s.disk_hits));
+            .num(
+                "cache_hits",
+                report.stats.as_ref().map_or(0, |s| s.cache_hits),
+            )
+            .num(
+                "disk_hits",
+                report.stats.as_ref().map_or(0, |s| s.disk_hits),
+            );
     });
 }
 
@@ -286,6 +311,7 @@ struct Cli {
     progress: Option<String>,
     ledger: Option<String>,
     metrics_out: Option<String>,
+    artifacts_dir: Option<String>,
     target: Option<String>,
 }
 
@@ -308,8 +334,9 @@ const USAGE: &str = "\
 usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] [--stats] \
 [--trace <out.jsonl> | --trace-logical <out.jsonl>]\n\
 \x20           [--progress <out.jsonl>] [--ledger <dir>] [--metrics-out <file>] \
-(<file.ml> | --suite [program])\n\
-\x20      homc batch [--workers <n>] [--cache-dir <dir>] [--trace-dir <dir>] [--logical]\n\
+[--artifacts-dir <dir>] (<file.ml> | --suite [program])\n\
+\x20      homc batch [--workers <n>] [--cache-dir <dir>] [--artifacts-dir <dir>] \
+[--trace-dir <dir>] [--logical]\n\
 \x20                 [--timeout <secs>] [--watchdog <secs>] [--stats] [--json]\n\
 \x20                 [--progress <out.jsonl>] [--ledger <dir>] [--metrics-out <file>]\n\
 \x20                 [--inject-job <idx:panic|exhaust>]\n\
@@ -338,6 +365,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         progress: None,
         ledger: None,
         metrics_out: None,
+        artifacts_dir: None,
         target: None,
     };
     let mut i = 0;
@@ -369,18 +397,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 i += 1;
             }
             flag @ ("--trace" | "--trace-logical") => {
-                let v = args.get(i + 1).ok_or_else(|| format!("{flag} needs a path"))?;
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a path"))?;
                 if cli.trace.is_some() {
                     return Err("at most one of --trace/--trace-logical".to_string());
                 }
                 cli.trace = Some((v.clone(), flag == "--trace-logical"));
                 i += 2;
             }
-            flag @ ("--progress" | "--ledger" | "--metrics-out") => {
-                let v = args.get(i + 1).ok_or_else(|| format!("{flag} needs a path"))?;
+            flag @ ("--progress" | "--ledger" | "--metrics-out" | "--artifacts-dir") => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a path"))?;
                 let slot = match flag {
                     "--progress" => &mut cli.progress,
                     "--ledger" => &mut cli.ledger,
+                    "--artifacts-dir" => &mut cli.artifacts_dir,
                     _ => &mut cli.metrics_out,
                 };
                 *slot = Some(v.clone());
@@ -831,6 +864,14 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                 opts.cache_dir = Some(std::path::PathBuf::from(v));
                 i += 2;
             }
+            "--artifacts-dir" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{}", need("--artifacts-dir"));
+                    return usage();
+                };
+                opts.artifacts_dir = Some(std::path::PathBuf::from(v));
+                i += 2;
+            }
             "--trace-dir" => {
                 let Some(v) = args.get(i + 1) else {
                     eprintln!("{}", need("--trace-dir"));
@@ -953,7 +994,9 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                         expected: None,
                     }),
                     Err(e) => {
-                        eprintln!("homc: {t:?} is neither a suite program nor a readable file: {e}");
+                        eprintln!(
+                            "homc: {t:?} is neither a suite program nor a readable file: {e}"
+                        );
                         return ExitCode::FAILURE;
                     }
                 }
@@ -988,10 +1031,14 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     } else {
         for j in &report.jobs {
             let retried = if j.attempts > 1 {
-                format!("  (attempts={}{})", j.attempts, match &j.retry_detail {
-                    Some(d) => format!(", retried after {d}"),
-                    None => String::new(),
-                })
+                format!(
+                    "  (attempts={}{})",
+                    j.attempts,
+                    match &j.retry_detail {
+                        Some(d) => format!(", retried after {d}"),
+                        None => String::new(),
+                    }
+                )
             } else {
                 String::new()
             };
@@ -1017,7 +1064,10 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             opts.workers,
         ));
         if let Some(load) = &report.load {
-            say(format_args!("cache load: {load}  disk hits {}", report.disk_hits));
+            say(format_args!(
+                "cache load: {load}  disk hits {}",
+                report.disk_hits
+            ));
         }
         if let Some(p) = &report.publish {
             say(format_args!(
@@ -1127,15 +1177,13 @@ fn main() -> ExitCode {
     // logical run stays deterministic end to end.
     let progress = match &cli.progress {
         None => Tracer::disabled(),
-        Some(path) => {
-            match Tracer::to_file(std::path::Path::new(path), tracer.is_logical()) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("homc: cannot open progress file {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
+        Some(path) => match Tracer::to_file(std::path::Path::new(path), tracer.is_logical()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("homc: cannot open progress file {path}: {e}");
+                return ExitCode::FAILURE;
             }
-        }
+        },
     };
     // The budget (deadline + fault plan) is per program: each run_one call
     // builds a fresh Budget from these options. The metrics registry only
@@ -1173,7 +1221,11 @@ fn main() -> ExitCode {
         progress.emit("batch_start", |e| {
             e.num("jobs", programs.len() as u64).num("workers", 1).str(
                 "clock",
-                if progress.is_logical() { "logical" } else { "wall" },
+                if progress.is_logical() {
+                    "logical"
+                } else {
+                    "wall"
+                },
             );
         });
         for (i, p) in programs.iter().enumerate() {
@@ -1189,6 +1241,10 @@ fn main() -> ExitCode {
         for (i, p) in programs.iter().enumerate() {
             let mut per = opts.clone();
             per.job = i as u64;
+            per.artifacts = cli.artifacts_dir.as_ref().map(|dir| ArtifactConfig {
+                dir: dir.into(),
+                key: p.name.to_string(),
+            });
             let report = run_one(p.name, p.source, Some(p.expected), &per, cli.stats);
             emit_settlement(&progress, i as u64, p.name, &report);
             match report.status {
@@ -1221,6 +1277,9 @@ fn main() -> ExitCode {
                 totals.abs_implicants += s.abs_implicants;
                 totals.abs_queries_saved += s.abs_queries_saved;
                 totals.abs_ctx_truncated += s.abs_ctx_truncated;
+                totals.reverify_defs_skipped += s.reverify_defs_skipped;
+                totals.reverify_preds_seeded += s.reverify_preds_seeded;
+                totals.artifact_quarantine += s.artifact_quarantine;
             }
         }
         progress.emit("batch_end", |e| {
@@ -1261,6 +1320,14 @@ fn main() -> ExitCode {
             totals.abs_queries_saved,
             totals.abs_ctx_truncated,
         ));
+        if cli.artifacts_dir.is_some() {
+            say(format_args!(
+                "cross-run reverify: defs skipped {}, preds seeded {}, quarantined {}",
+                totals.reverify_defs_skipped,
+                totals.reverify_preds_seeded,
+                totals.artifact_quarantine,
+            ));
+        }
         if let Some(dir) = &cli.ledger {
             append_ledger(dir, "suite", ledger_records);
         }
@@ -1286,11 +1353,22 @@ fn main() -> ExitCode {
         progress.emit("batch_start", |e| {
             e.num("jobs", 1).num("workers", 1).str(
                 "clock",
-                if progress.is_logical() { "logical" } else { "wall" },
+                if progress.is_logical() {
+                    "logical"
+                } else {
+                    "wall"
+                },
             );
         });
         progress.emit("job_queued", |e| {
             e.num("job", 0).str("name", &path);
+        });
+        // A file is keyed by its path: re-running `homc <file>` after an
+        // edit is exactly the warm diff-and-seed scenario.
+        let mut opts = opts;
+        opts.artifacts = cli.artifacts_dir.as_ref().map(|dir| ArtifactConfig {
+            dir: dir.into(),
+            key: path.clone(),
         });
         let t = Instant::now();
         let report = run_one(&path, &src, None, &opts, cli.stats);
@@ -1373,5 +1451,23 @@ mod usage_audit {
                 "usage line for {cmd:?} not parsed by the audit"
             );
         }
+    }
+
+    /// The cross-run artifact flag must be advertised for both modes that
+    /// accept it (main and `batch`) and actually parsed by the main mode.
+    #[test]
+    fn artifacts_dir_flag_is_advertised_and_parsed() {
+        assert!(
+            USAGE.matches("--artifacts-dir").count() >= 2,
+            "--artifacts-dir must appear in both the main and batch usage lines"
+        );
+        let cli = super::parse_args(&[
+            "--artifacts-dir".to_string(),
+            "store".to_string(),
+            "prog.ml".to_string(),
+        ])
+        .expect("parses");
+        assert_eq!(cli.artifacts_dir.as_deref(), Some("store"));
+        assert_eq!(cli.target.as_deref(), Some("prog.ml"));
     }
 }

@@ -52,7 +52,10 @@ fn num(v: &JsonValue, key: &str) -> u64 {
 }
 
 fn text(v: &JsonValue, key: &str) -> String {
-    v.get(key).and_then(JsonValue::as_str).unwrap_or("").to_string()
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+        .to_string()
 }
 
 fn parse_view(stream: &str) -> FleetView {
@@ -138,7 +141,11 @@ pub fn render_top(stream: &str) -> String {
         "fleet: {} job(s), {} worker(s), {} clock",
         view.jobs_total,
         view.workers,
-        if view.clock.is_empty() { "wall" } else { &view.clock }
+        if view.clock.is_empty() {
+            "wall"
+        } else {
+            &view.clock
+        }
     );
     let _ = writeln!(
         out,
@@ -161,7 +168,11 @@ pub fn render_top(stream: &str) -> String {
             "{:>4} {:<16} {:<10} {:>3} {:>3} {:<8} {}",
             id,
             job.name,
-            if job.state.is_empty() { "queued" } else { job.state },
+            if job.state.is_empty() {
+                "queued"
+            } else {
+                job.state
+            },
             job.worker.map_or("-".to_string(), |w| w.to_string()),
             job.attempt,
             phase,
@@ -257,7 +268,10 @@ mod tests {
     #[test]
     fn mid_run_snapshot_shows_live_state() {
         let out = render_top(STREAM);
-        assert!(out.contains("fleet: 2 job(s), 2 worker(s), logical clock"), "{out}");
+        assert!(
+            out.contains("fleet: 2 job(s), 2 worker(s), logical clock"),
+            "{out}"
+        );
         assert!(out.contains("queued 1  running 1  done 0"), "{out}");
         assert!(out.contains("mc#2"), "{out}");
         assert!(out.contains("mc91"), "{out}");
@@ -278,7 +292,10 @@ mod tests {
         );
         let out = render_top(&settled);
         assert!(progress_complete(&settled));
-        assert!(out.contains("tally: 1 passed, 0 failed, 1 unknown (2.5s)"), "{out}");
+        assert!(
+            out.contains("tally: 1 passed, 0 failed, 1 unknown (2.5s)"),
+            "{out}"
+        );
         assert!(out.contains("passed"), "{out}");
         assert!(out.contains("unknown (deadline)"), "{out}");
         // Phase column resets once the job leaves the running state.

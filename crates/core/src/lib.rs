@@ -61,17 +61,18 @@ pub use homc_metrics::{
     profile::{fold_trace, validate_folded, Profile},
     Counter, Hist, Metrics, Snapshot,
 };
-pub use homc_trace::{
-    parse_json, render_report, stable_hash64, validate_line, validate_trace, JsonValue,
-    SchemaError, Tracer,
-};
 pub use homc_serve::{
     regress, render_history, seed_cache, DiskCache, DiskFault, Ledger, LedgerLoad, LoadReport,
     PublishReport, RegressReport, RetryPolicy, RunRecord, TrendOptions, RECORD_SCHEMA,
 };
 pub use homc_smt::{CancelToken, QueryCache};
+pub use homc_trace::{
+    parse_json, render_report, stable_hash64, validate_line, validate_trace, JsonValue,
+    SchemaError, Tracer,
+};
 pub use suite::{Expected, SuiteProgram, SUITE};
+pub use homc_serve::{Artifact, ArtifactLoad, ArtifactStore};
 pub use verifier::{
-    verify, verify_compiled, UnknownReason, Verdict, VerifierOptions, VerifyError, VerifyOutcome,
-    VerifyStats,
+    verify, verify_compiled, ArtifactConfig, UnknownReason, Verdict, VerifierOptions, VerifyError,
+    VerifyOutcome, VerifyStats,
 };

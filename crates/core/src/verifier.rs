@@ -25,6 +25,7 @@
 use std::cell::Cell;
 use std::fmt;
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
@@ -33,18 +34,32 @@ use homc_abs::{
     TransitionMemo,
 };
 use homc_cegar::{
-    build_trace_budgeted, refine_env_traced, Feasibility, RefineError, RefineOptions, TraceEnd,
-    TraceError,
+    build_trace_budgeted, refine_env_traced, seed_env, Feasibility, RefineError, RefineOptions,
+    TraceEnd, TraceError,
 };
 use homc_hbp::check::{CheckError, CheckLimits, Checker};
 use homc_hbp::{find_error_path, source_labels};
 use homc_lang::eval::Label;
+use homc_lang::manifest::Manifest;
 use homc_lang::{frontend, Compiled};
-use homc_metrics::{mem, Hist, Metrics};
+use homc_metrics::{mem, Counter, Hist, Metrics};
+use homc_serve::{Artifact, ArtifactStore};
 use homc_smt::{
     Budget, BudgetError, CancelToken, FaultPlan, LimitKind, Phase, QueryCache, SmtSolver,
 };
 use homc_trace::Tracer;
+
+/// Where the verifier persists and looks up cross-run abstraction
+/// artifacts (the warm-edit re-verification path).
+#[derive(Clone, Debug)]
+pub struct ArtifactConfig {
+    /// Directory of the artifact store (created on demand).
+    pub dir: PathBuf,
+    /// Stable identity of the program across edits — its file path or suite
+    /// entry name, not its content. Resubmitting an *edited* program under
+    /// the same key is exactly what enables the diff-and-seed path.
+    pub key: String,
+}
 
 /// Options controlling the verifier.
 #[derive(Clone, Debug)]
@@ -103,6 +118,16 @@ pub struct VerifierOptions {
     pub progress: Tracer,
     /// Job index stamped onto progress events (0 for single runs).
     pub job: u64,
+    /// Cross-run artifact store: when set, the run loads the prior artifact
+    /// for [`ArtifactConfig::key`], diffs definition manifests, seeds the
+    /// predicate environment / transition memo / interpolant cache for
+    /// unchanged dependency cones, and publishes a fresh artifact on a
+    /// decisive verdict. Everything seeded is a *candidate* (predicates
+    /// narrow the search, memo entries are fingerprint-revalidated,
+    /// interpolants are keyed by their full query), so this accelerates
+    /// re-verification without being able to change a verdict. `None` — the
+    /// default — runs cold.
+    pub artifacts: Option<ArtifactConfig>,
 }
 
 impl Default for VerifierOptions {
@@ -123,6 +148,7 @@ impl Default for VerifierOptions {
             cancel: None,
             progress: Tracer::disabled(),
             job: 0,
+            artifacts: None,
         }
     }
 }
@@ -281,6 +307,16 @@ pub struct VerifyStats {
     /// summed over iterations (includes the recorded drops of memo-reused
     /// definitions).
     pub abs_ctx_truncated: usize,
+    /// Definitions whose abstraction was replayed from a prior run's
+    /// persisted artifact before the first iteration (manifest cone
+    /// unchanged across the edit). 0 for cold runs.
+    pub reverify_defs_skipped: usize,
+    /// Predicates seeded into the initial environment from a prior run's
+    /// winning abstraction types. 0 for cold runs.
+    pub reverify_preds_seeded: usize,
+    /// Artifact files rejected by integrity checks and quarantined while
+    /// loading (at most 1 per run).
+    pub artifact_quarantine: u64,
 }
 
 /// The result of a verification run.
@@ -396,6 +432,12 @@ struct IterRecord {
     abs_queries_saved: usize,
     /// Context components dropped by the precision cap this iteration.
     abs_ctx_truncated: usize,
+    /// Definitions replayed from a persisted artifact (iteration 0 only).
+    reverify_defs_skipped: usize,
+    /// Predicates seeded from a persisted artifact (iteration 0 only).
+    reverify_preds_seeded: usize,
+    /// Artifact files quarantined while loading (iteration 0 only).
+    artifact_quarantine: u64,
 }
 
 /// Predicate count of one abstraction type (recursing into arrow chains).
@@ -465,7 +507,9 @@ fn emit_injected_fault(tracer: &Tracer, outcome: &Result<IterOutcome, String>) {
                 .and_then(|s| s.split_whitespace().next())
                 .unwrap_or("?");
             tracer.emit("fault", |ev| {
-                ev.str("phase", phase).str("kind", "panic").str("detail", msg);
+                ev.str("phase", phase)
+                    .str("kind", "panic")
+                    .str("detail", msg);
             });
         }
         _ => {}
@@ -527,6 +571,68 @@ pub fn verify_compiled(
     // stay valid across attempts (the program and name scheme never change
     // within a run).
     let mut memo = TransitionMemo::new();
+    // Cross-run warm start: load the prior artifact for this key (if any),
+    // diff per-definition manifests, and seed the predicate environment,
+    // transition memo, and interpolant cache for the unchanged dependency
+    // cones. A corrupt artifact is quarantined by the store and the run
+    // degrades to a cold start — seeding can speed the run up but never
+    // change its verdict (see DESIGN.md §"Cross-run incremental
+    // verification" for the soundness argument).
+    let manifest = opts.artifacts.as_ref().map(|_| Manifest::of(&compiled.cps));
+    let mut store = None;
+    let mut prior_interp = Vec::new();
+    if let (Some(cfg), Some(manifest)) = (&opts.artifacts, &manifest) {
+        let s = ArtifactStore::new(&cfg.dir).with_metrics(metrics.clone());
+        if let Ok(load) = s.load(&cfg.key) {
+            if load.quarantined {
+                stats.artifact_quarantine += 1;
+            }
+            if let Some(prior) = load.artifact {
+                let unchanged = prior.manifest.unchanged_defs(manifest);
+                stats.reverify_preds_seeded =
+                    seed_env(&mut env, &prior.env, &compiled.cps, &unchanged);
+                // Memo replay only helps the incremental abstraction path;
+                // the oracle path rebuilds everything regardless.
+                if opts.incremental_abs {
+                    let ndefs = compiled.cps.defs.len();
+                    let main_unchanged = unchanged.contains(&compiled.cps.main);
+                    for entry in prior.memo {
+                        let replay = if entry.index < ndefs {
+                            unchanged.contains(&entry.name)
+                        } else {
+                            // The entry wrapper's cone is {main}.
+                            main_unchanged
+                        };
+                        if replay && memo.seed_entry(&compiled.cps, entry) {
+                            stats.reverify_defs_skipped += 1;
+                        }
+                    }
+                }
+                // Seeded interpolants are full-key cache entries: they can
+                // only be *found* by re-posing the identical query, so they
+                // are safe for any edit.
+                for (k, v) in prior.interp {
+                    cache.store_interp_seeded(k.clone(), v.clone());
+                    prior_interp.push((k, v));
+                }
+            }
+        }
+        // An unreadable store directory cold-starts silently; the publish
+        // at the end of the run surfaces persistent I/O problems.
+        store = Some(s);
+    }
+    if stats.reverify_defs_skipped > 0 {
+        metrics.add(
+            Counter::ReverifyDefsSkipped,
+            stats.reverify_defs_skipped as u64,
+        );
+    }
+    if stats.reverify_preds_seeded > 0 {
+        metrics.add(
+            Counter::ReverifyPredsSeeded,
+            stats.reverify_preds_seeded as u64,
+        );
+    }
     let mut verdict;
 
     'attempts: loop {
@@ -548,6 +654,14 @@ pub fn verify_compiled(
                 (0, 0, 0, 0)
             };
             let mut rec = IterRecord::default();
+            if iteration == 0 && stats.retries == 0 {
+                // Cross-run seeding happened once, before the loop; credit
+                // it to the first iteration's record so the trace carries it
+                // (and an escalation retry does not re-report it).
+                rec.reverify_defs_skipped = stats.reverify_defs_skipped;
+                rec.reverify_preds_seeded = stats.reverify_preds_seeded;
+                rec.artifact_quarantine = stats.artifact_quarantine;
+            }
             let outcome = trap_panics(|| {
                 run_iteration(
                     compiled,
@@ -619,6 +733,18 @@ pub fn verify_compiled(
                     if rec.abs_ctx_truncated > 0 {
                         e.num("abs_ctx_truncated", rec.abs_ctx_truncated as u64);
                     }
+                    // Cross-run seeding counters (first iteration only),
+                    // same nonzero-only policy: cold runs and artifact-free
+                    // runs emit byte-identical iter events.
+                    if rec.reverify_defs_skipped > 0 {
+                        e.num("reverify_defs_skipped", rec.reverify_defs_skipped as u64);
+                    }
+                    if rec.reverify_preds_seeded > 0 {
+                        e.num("reverify_preds_seeded", rec.reverify_preds_seeded as u64);
+                    }
+                    if rec.artifact_quarantine > 0 {
+                        e.num("artifact_quarantine", rec.artifact_quarantine);
+                    }
                     if cs.rat_hits > rat_hits0 {
                         e.num("fm_prefix_hits", cs.rat_hits - rat_hits0);
                     }
@@ -677,6 +803,25 @@ pub fn verify_compiled(
     stats.cache_misses = cs.misses();
     stats.fm_prefix_hits = cs.rat_hits;
     stats.disk_hits = cs.disk_hits;
+    // Publish the artifact for the *next* run, but only on a decisive
+    // verdict: an `Unknown` environment is mid-refinement noise, and
+    // persisting it could keep a bad seed alive across edits. Seeded
+    // interpolants are republished together with the ones this run
+    // discovered (the two sets are disjoint by construction). Publish
+    // failures are non-fatal — the verdict stands either way.
+    if let (Some(store), Some(manifest), Some(cfg)) = (&store, manifest, &opts.artifacts) {
+        if matches!(verdict, Verdict::Safe | Verdict::Unsafe { .. }) {
+            let mut interp = prior_interp;
+            interp.extend(cache.export_new_interp());
+            let artifact = Artifact {
+                manifest,
+                env: env.clone(),
+                memo: memo.export_entries(&compiled.cps),
+                interp,
+            };
+            let _ = store.publish(&cfg.key, &artifact);
+        }
+    }
     tracer.emit("verdict", |e| {
         let tag = match &verdict {
             Verdict::Safe => "safe",
@@ -819,9 +964,7 @@ fn run_iteration(
         Ok(None) => return IterOutcome::Done(Verdict::Safe),
         Ok(Some(p)) => p,
         Err(CheckError::Budget(e)) => return unknown(UnknownReason::Budget(e)),
-        Err(e) => {
-            return unknown(UnknownReason::InternalFault(format!("model checking: {e}")))
-        }
+        Err(e) => return unknown(UnknownReason::InternalFault(format!("model checking: {e}"))),
     };
 
     // Step 3: replay the abstract error path (feasibility's trace build).

@@ -43,6 +43,7 @@ pub mod elaborate;
 pub mod eval;
 pub mod kernel;
 pub mod lexer;
+pub mod manifest;
 pub mod parser;
 pub mod symexec;
 pub mod types;

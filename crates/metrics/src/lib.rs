@@ -75,10 +75,19 @@ pub enum Counter {
     AbsCtxTruncated,
     /// Run-ledger segments or records rejected by an integrity check.
     LedgerQuarantine,
+    /// Definitions whose abstraction was replayed from a prior run's
+    /// persisted artifact (cross-run incremental re-verification).
+    ReverifyDefsSkipped,
+    /// Predicates seeded into the initial environment from a prior run's
+    /// winning predicate environment.
+    ReverifyPredsSeeded,
+    /// Artifact-store files rejected by an integrity check and quarantined
+    /// (the run degrades to the cold path).
+    ArtifactQuarantine,
 }
 
 /// All counters, in display order.
-pub const COUNTERS: [Counter; 15] = [
+pub const COUNTERS: [Counter; 18] = [
     Counter::SmtSolves,
     Counter::InterpCuts,
     Counter::McRounds,
@@ -94,6 +103,9 @@ pub const COUNTERS: [Counter; 15] = [
     Counter::AbsQueriesSaved,
     Counter::AbsCtxTruncated,
     Counter::LedgerQuarantine,
+    Counter::ReverifyDefsSkipped,
+    Counter::ReverifyPredsSeeded,
+    Counter::ArtifactQuarantine,
 ];
 
 impl Counter {
@@ -119,6 +131,9 @@ impl Counter {
             Counter::AbsQueriesSaved => "abs_queries_saved",
             Counter::AbsCtxTruncated => "abs_ctx_truncated",
             Counter::LedgerQuarantine => "ledger_quarantine",
+            Counter::ReverifyDefsSkipped => "reverify_defs_skipped",
+            Counter::ReverifyPredsSeeded => "reverify_preds_seeded",
+            Counter::ArtifactQuarantine => "artifact_quarantine",
         }
     }
 
@@ -140,6 +155,9 @@ impl Counter {
             Counter::AbsQueriesSaved => "SMT queries avoided by incremental abstraction",
             Counter::AbsCtxTruncated => "Context components dropped by the context-atom cap",
             Counter::LedgerQuarantine => "Run-ledger segments or records rejected by integrity checks",
+            Counter::ReverifyDefsSkipped => "Definitions replayed from a prior run's persisted artifact",
+            Counter::ReverifyPredsSeeded => "Predicates seeded from a prior run's winning environment",
+            Counter::ArtifactQuarantine => "Artifact-store files rejected by integrity checks and quarantined",
         }
     }
 }

@@ -47,14 +47,14 @@ impl std::error::Error for CodecError {}
 
 // ---------------------------------------------------------------- encoding
 
-fn put_var(out: &mut String, v: &Var) {
+pub(crate) fn put_var(out: &mut String, v: &Var) {
     let name = v.name();
     out.push_str(&name.len().to_string());
     out.push(':');
     out.push_str(name);
 }
 
-fn put_linexpr(out: &mut String, e: &LinExpr) {
+pub(crate) fn put_linexpr(out: &mut String, e: &LinExpr) {
     out.push_str(&e.constant_part().to_string());
     let terms: Vec<_> = e.iter().collect();
     out.push(' ');
@@ -67,7 +67,7 @@ fn put_linexpr(out: &mut String, e: &LinExpr) {
     }
 }
 
-fn put_atom(out: &mut String, a: &Atom) {
+pub(crate) fn put_atom(out: &mut String, a: &Atom) {
     out.push(match a.rel() {
         Rel::Le => 'l',
         Rel::Eq => 'e',
@@ -76,7 +76,7 @@ fn put_atom(out: &mut String, a: &Atom) {
     put_linexpr(out, a.lhs());
 }
 
-fn put_formula(out: &mut String, f: &Formula) {
+pub(crate) fn put_formula(out: &mut String, f: &Formula) {
     match f {
         Formula::True => out.push('T'),
         Formula::False => out.push('F'),
@@ -104,7 +104,7 @@ fn put_formula(out: &mut String, f: &Formula) {
     }
 }
 
-fn put_model(out: &mut String, m: &Model) {
+pub(crate) fn put_model(out: &mut String, m: &Model) {
     let ints: Vec<_> = m.ints().collect();
     let bools: Vec<_> = m.bools().collect();
     out.push_str(&ints.len().to_string());
@@ -163,22 +163,22 @@ pub fn encode_cube(key: &(Vec<Atom>, u32), value: CubeSat) -> String {
 
 // ---------------------------------------------------------------- decoding
 
-struct Cur<'a> {
+pub(crate) struct Cur<'a> {
     s: &'a str,
     pos: usize,
 }
 
 impl<'a> Cur<'a> {
-    fn new(s: &'a str) -> Cur<'a> {
+    pub(crate) fn new(s: &'a str) -> Cur<'a> {
         Cur { s, pos: 0 }
     }
 
-    fn err(&self, detail: impl Into<String>) -> CodecError {
+    pub(crate) fn err(&self, detail: impl Into<String>) -> CodecError {
         CodecError::new(detail, self.pos)
     }
 
     /// Consumes the single-space separator between tokens.
-    fn sep(&mut self) -> Result<(), CodecError> {
+    pub(crate) fn sep(&mut self) -> Result<(), CodecError> {
         match self.s.as_bytes().get(self.pos) {
             Some(b' ') => {
                 self.pos += 1;
@@ -189,7 +189,7 @@ impl<'a> Cur<'a> {
     }
 
     /// The next space-delimited token (does not consume the separator).
-    fn tok(&mut self) -> Result<&'a str, CodecError> {
+    pub(crate) fn tok(&mut self) -> Result<&'a str, CodecError> {
         let rest = &self.s[self.pos..];
         if rest.is_empty() {
             return Err(self.err("unexpected end of record"));
@@ -203,17 +203,17 @@ impl<'a> Cur<'a> {
         Ok(t)
     }
 
-    fn int(&mut self) -> Result<i128, CodecError> {
+    pub(crate) fn int(&mut self) -> Result<i128, CodecError> {
         let t = self.tok()?;
         t.parse::<i128>().map_err(|_| self.err(format!("bad integer {t:?}")))
     }
 
-    fn count(&mut self) -> Result<usize, CodecError> {
+    pub(crate) fn count(&mut self) -> Result<usize, CodecError> {
         let t = self.tok()?;
         t.parse::<usize>().map_err(|_| self.err(format!("bad count {t:?}")))
     }
 
-    fn var(&mut self) -> Result<Var, CodecError> {
+    pub(crate) fn var(&mut self) -> Result<Var, CodecError> {
         let rest = &self.s[self.pos..];
         let colon = rest
             .find(':')
@@ -229,7 +229,7 @@ impl<'a> Cur<'a> {
         Ok(Var::new(name))
     }
 
-    fn linexpr(&mut self) -> Result<LinExpr, CodecError> {
+    pub(crate) fn linexpr(&mut self) -> Result<LinExpr, CodecError> {
         let k = self.int()?;
         self.sep()?;
         let n = self.count()?;
@@ -247,7 +247,7 @@ impl<'a> Cur<'a> {
         Ok(e)
     }
 
-    fn atom(&mut self) -> Result<Atom, CodecError> {
+    pub(crate) fn atom(&mut self) -> Result<Atom, CodecError> {
         let tag = self.tok()?;
         self.sep()?;
         let lhs = self.linexpr()?;
@@ -261,7 +261,7 @@ impl<'a> Cur<'a> {
         }
     }
 
-    fn formula(&mut self) -> Result<Formula, CodecError> {
+    pub(crate) fn formula(&mut self) -> Result<Formula, CodecError> {
         let tag = self.tok()?;
         match tag {
             "T" => Ok(Formula::True),
@@ -298,7 +298,7 @@ impl<'a> Cur<'a> {
         }
     }
 
-    fn model(&mut self) -> Result<Model, CodecError> {
+    pub(crate) fn model(&mut self) -> Result<Model, CodecError> {
         let mut ints = std::collections::BTreeMap::new();
         let n = self.count()?;
         for _ in 0..n {
@@ -324,7 +324,7 @@ impl<'a> Cur<'a> {
         Ok(Model::new(ints, bools))
     }
 
-    fn end(&self) -> Result<(), CodecError> {
+    pub(crate) fn end(&self) -> Result<(), CodecError> {
         if self.pos == self.s.len() {
             Ok(())
         } else {

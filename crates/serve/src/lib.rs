@@ -32,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod codec;
 pub mod disk;
 pub mod ledger;
 pub mod pool;
 pub mod trend;
 
+pub use artifact::{Artifact, ArtifactLoad, ArtifactStore, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use codec::{decode_record, encode_check, encode_cube, CodecError, Record};
 pub use disk::{seed_cache, DiskCache, DiskFault, LoadReport, PublishReport, MAGIC, VERSION};
 pub use homc_budget::CancelToken;

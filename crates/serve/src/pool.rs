@@ -182,6 +182,18 @@ impl PoolProgress<'_> {
                 .num("attempt", u64::from(attempt))
                 .str("state", state);
         });
+        self.heartbeat();
+    }
+
+    /// Emits one `pool_hb` with the tallies as of this instant. Called per
+    /// transition, and once more after the worker scope joins: concurrent
+    /// workers can interleave heartbeat formatting so the per-transition
+    /// ones may land slightly stale in the stream, but the closing one is
+    /// emitted alone and always carries the final tallies.
+    fn heartbeat(&self) {
+        if !self.tracer.enabled() {
+            return;
+        }
         let started = self.started.load(Ordering::Relaxed);
         self.tracer.emit("pool_hb", |e| {
             e.num("queued", self.total.saturating_sub(started))
@@ -270,6 +282,7 @@ pub fn run_jobs<T: Send>(
             let _ = m.join();
         }
     });
+    progress.heartbeat();
 
     results
         .into_iter()

@@ -148,7 +148,7 @@ impl CacheStats {
 }
 
 /// Key of the interpolant table: both cubes sorted, plus the split depth.
-type InterpKey = (Vec<Literal>, Vec<Literal>, u32);
+pub type InterpKey = (Vec<Literal>, Vec<Literal>, u32);
 
 /// The shared query cache. See the module docs for the design.
 ///
@@ -156,11 +156,15 @@ type InterpKey = (Vec<Literal>, Vec<Literal>, u32);
 ///
 /// The serving layer's persistent tier pre-warms a fresh cache by replaying
 /// validated disk records through [`store_check_seeded`](Self::store_check_seeded)
-/// / [`store_cube_seeded`](Self::store_cube_seeded). Seeded keys are tracked
-/// so that (a) hits on them count in `disk_hits` (the warm-latency telemetry)
-/// and (b) [`export_new_check`](Self::export_new_check) /
-/// [`export_new_cubes`](Self::export_new_cubes) return only entries this run
-/// discovered — segment publication stays append-only and never rewrites
+/// / [`store_cube_seeded`](Self::store_cube_seeded) /
+/// [`store_interp_seeded`](Self::store_interp_seeded). Seeded keys are
+/// tracked so that (a) the *first* hit on each counts in `disk_hits` — one
+/// segment read per record; repeat hits are served by the in-memory table
+/// and count only as ordinary table hits — and (b)
+/// [`export_new_check`](Self::export_new_check) /
+/// [`export_new_cubes`](Self::export_new_cubes) /
+/// [`export_new_interp`](Self::export_new_interp) return only entries this
+/// run discovered — segment publication stays append-only and never rewrites
 /// records already on disk.
 ///
 /// # The checkpoint-before-lookup invariant
@@ -181,6 +185,12 @@ pub struct QueryCache {
     rat: Mutex<HashMap<Vec<Atom>, CachedRat>>,
     seeded_check: Mutex<HashSet<(Formula, u32)>>,
     seeded_cubes: Mutex<HashSet<(Vec<Atom>, u32)>>,
+    seeded_interp: Mutex<HashSet<InterpKey>>,
+    // Seeded keys whose one-time disk-hit credit is still outstanding. A
+    // key is removed on its first hit; later hits are pure memory hits.
+    uncredited_check: Mutex<HashSet<(Formula, u32)>>,
+    uncredited_cubes: Mutex<HashSet<(Vec<Atom>, u32)>>,
+    uncredited_interp: Mutex<HashSet<InterpKey>>,
     check_hits: AtomicU64,
     check_misses: AtomicU64,
     cube_hits: AtomicU64,
@@ -256,7 +266,7 @@ impl QueryCache {
         self.guard_check_lookup();
         let found = self.check.lock().expect("cache poisoned").get(key).cloned();
         self.count(&self.check_hits, &self.check_misses, found.is_some());
-        if found.is_some() && self.seeded_check.lock().expect("cache poisoned").contains(key) {
+        if found.is_some() && self.uncredited_check.lock().expect("cache poisoned").remove(key) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
         }
         found
@@ -268,10 +278,15 @@ impl QueryCache {
     }
 
     /// Stores a `check` result replayed from the persistent disk tier.
-    /// Seeded keys count hits in [`CacheStats::disk_hits`] and are excluded
-    /// from [`export_new_check`](Self::export_new_check).
+    /// A seeded key's first hit counts in [`CacheStats::disk_hits`] (one
+    /// segment read per record; later hits are in-memory) and the key is
+    /// excluded from [`export_new_check`](Self::export_new_check).
     pub fn store_check_seeded(&self, key: (Formula, u32), value: CachedSat) {
         self.seeded_check
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.clone());
+        self.uncredited_check
             .lock()
             .expect("cache poisoned")
             .insert(key.clone());
@@ -295,7 +310,7 @@ impl QueryCache {
     pub fn lookup_cube(&self, key: &(Vec<Atom>, u32)) -> Option<CubeSat> {
         let found = self.cubes.lock().expect("cache poisoned").get(key).copied();
         self.count(&self.cube_hits, &self.cube_misses, found.is_some());
-        if found.is_some() && self.seeded_cubes.lock().expect("cache poisoned").contains(key) {
+        if found.is_some() && self.uncredited_cubes.lock().expect("cache poisoned").remove(key) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
         }
         found
@@ -310,6 +325,10 @@ impl QueryCache {
     /// [`store_check_seeded`](Self::store_check_seeded)).
     pub fn store_cube_seeded(&self, key: (Vec<Atom>, u32), value: CubeSat) {
         self.seeded_cubes
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.clone());
+        self.uncredited_cubes
             .lock()
             .expect("cache poisoned")
             .insert(key.clone());
@@ -335,12 +354,43 @@ impl QueryCache {
     pub fn lookup_interp(&self, key: &InterpKey) -> Option<Option<Formula>> {
         let found = self.interp.lock().expect("cache poisoned").get(key).cloned();
         self.count(&self.interp_hits, &self.interp_misses, found.is_some());
+        if found.is_some() && self.uncredited_interp.lock().expect("cache poisoned").remove(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        }
         found
     }
 
     /// Stores a cube-pair interpolant (or its definite absence).
     pub fn store_interp(&self, key: InterpKey, value: Option<Formula>) {
         self.interp.lock().expect("cache poisoned").insert(key, value);
+    }
+
+    /// Stores an interpolant replayed from a persistent artifact (see
+    /// [`store_check_seeded`](Self::store_check_seeded) for the seeded-key
+    /// semantics).
+    pub fn store_interp_seeded(&self, key: InterpKey, value: Option<Formula>) {
+        self.seeded_interp
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.clone());
+        self.uncredited_interp
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.clone());
+        self.interp.lock().expect("cache poisoned").insert(key, value);
+    }
+
+    /// The `interp`-table entries this run discovered itself (seeded entries
+    /// excluded), for append-only artifact publication.
+    pub fn export_new_interp(&self) -> Vec<(InterpKey, Option<Formula>)> {
+        let seeded = self.seeded_interp.lock().expect("cache poisoned");
+        self.interp
+            .lock()
+            .expect("cache poisoned")
+            .iter()
+            .filter(|(k, _)| !seeded.contains(*k))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Looks up a rational-relaxation verdict. `key` must be sorted.
@@ -408,6 +458,44 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.disk_hits, 2); // seeded check + seeded cube, not own_key
         assert_eq!(s.hits(), 3);
+    }
+
+    #[test]
+    fn seeded_hits_credit_disk_only_once() {
+        // One segment read per record: repeat hits on a seeded key are
+        // in-memory hits, not disk hits (the warm-bench counter fix).
+        let c = QueryCache::new();
+        let seeded_key = (Formula::True, 48u32);
+        c.store_check_seeded(seeded_key.clone(), CachedSat::Unsat);
+        for _ in 0..5 {
+            assert!(c.lookup_check(&seeded_key).is_some());
+        }
+        let cube_key = (vec![Atom::le0(LinExpr::var("x"))], 24u32);
+        c.store_cube_seeded(cube_key.clone(), CubeSat::Unsat);
+        for _ in 0..5 {
+            assert_eq!(c.lookup_cube(&cube_key), Some(CubeSat::Unsat));
+        }
+        let s = c.stats();
+        assert_eq!(s.disk_hits, 2);
+        assert_eq!(s.check_hits, 5);
+        assert_eq!(s.cube_hits, 5);
+    }
+
+    #[test]
+    fn interp_seeding_and_export() {
+        let c = QueryCache::new();
+        let seeded: InterpKey = (Vec::new(), Vec::new(), 24);
+        let own: InterpKey = (Vec::new(), Vec::new(), 48);
+        c.store_interp_seeded(seeded.clone(), Some(Formula::True));
+        c.store_interp(own.clone(), None);
+        assert_eq!(c.lookup_interp(&seeded), Some(Some(Formula::True)));
+        assert_eq!(c.lookup_interp(&seeded), Some(Some(Formula::True)));
+        let s = c.stats();
+        assert_eq!(s.disk_hits, 1); // first seeded hit only
+        assert_eq!(s.interp_hits, 2);
+        let new = c.export_new_interp();
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].0, own);
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod linexpr;
 mod rat;
 mod solver;
 
-pub use cache::{CacheStats, CachedRat, CachedSat, CubeSat, QueryCache};
+pub use cache::{CacheStats, CachedRat, CachedSat, CubeSat, InterpKey, QueryCache};
 pub use fm::{
     check_certificate, int_sat, rational_sat, rational_sat_cached, FarkasCert, IntResult,
     RatResult,

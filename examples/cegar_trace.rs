@@ -69,9 +69,14 @@ fn main() {
 
         // Step 4: refinement.
         let before = env.fingerprint();
-        let (feas, changed) =
-            refine_env(&compiled.cps, &trace, &mut env, &solver, &RefineOptions::default())
-                .expect("refines");
+        let (feas, changed) = refine_env(
+            &compiled.cps,
+            &trace,
+            &mut env,
+            &solver,
+            &RefineOptions::default(),
+        )
+        .expect("refines");
         match feas {
             Feasibility::Feasible(w) => {
                 println!("step 3 verdict: FEASIBLE — real bug, witness {w:?}");

@@ -111,6 +111,36 @@ if ! grep -q 'abs_defs_reused=[1-9]' "$ABS_SMOKE"; then
     exit 1
 fi
 
+# Cross-run incremental smoke: the warm-edit path end to end. Verify
+# l-zipmap from a file with an artifact store, patch one integer literal
+# (semantics preserved), and re-verify: the second run must replay prior
+# per-definition abstractions (reverify_defs_skipped > 0) and reach the
+# identical verdict. The 25% latency gate on the same scenario runs in
+# the bench stage below, where both sides are measured in-process.
+INCR_DIR=target/incr-smoke
+INCR_SRC=target/incr-zipmap.ml
+INCR_COLD=target/incr-cold.txt
+INCR_WARM=target/incr-warm.txt
+rm -rf "$INCR_DIR"
+cat > "$INCR_SRC" <<'EOF'
+let rec zip x y = if x = 0 then (if y = 0 then x else fail ()) else if y = 0 then fail () else 1 + zip (x - 1) (y - 1) in let rec map x = if x = 0 then x else 1 + map (x - 1) in if n >= 0 then assert (map (zip n n) = n) else ()
+EOF
+run cargo run --release --offline --bin homc -- "$INCR_SRC" --stats \
+    --artifacts-dir "$INCR_DIR" | tee "$INCR_COLD"
+sed -i 's/1 + map/(0 + 1) + map/' "$INCR_SRC"
+run cargo run --release --offline --bin homc -- "$INCR_SRC" --stats \
+    --artifacts-dir "$INCR_DIR" | tee "$INCR_WARM"
+if ! grep -q 'reverify_defs_skipped=[1-9]' "$INCR_WARM"; then
+    echo "tier1: incr-smoke: edit resubmit replayed no prior definitions" >&2
+    exit 1
+fi
+incr_verdict() { sed -n 's/.* -> \([a-z]*\).*/\1/p' "$1" | head -1; }
+if [ "$(incr_verdict "$INCR_COLD")" != "$(incr_verdict "$INCR_WARM")" ]; then
+    echo "tier1: incr-smoke: edit resubmit flipped the verdict:" >&2
+    echo "tier1:   cold: $(incr_verdict "$INCR_COLD")  warm: $(incr_verdict "$INCR_WARM")" >&2
+    exit 1
+fi
+
 # Ledger smoke: the fleet-observability loop end to end. Two batch runs
 # append checksummed records to a scratch ledger; `homc history` must
 # render a per-program trend over both runs; `homc regress` must gate the
@@ -162,6 +192,21 @@ fi
 BENCH_SCRATCH=target/bench-table1.json
 run cargo run --release --offline -p homc-bench --bin table1 -- --json "$BENCH_SCRATCH"
 bench_schema() { sed -n 's/.*"schema": \([0-9]*\).*/\1/p' "$1" | head -1; }
+# Warm-edit latency gate: on l-zipmap the edit-resubmit rerun must land at
+# or under 25% of the cold wall (plus 20 ms of timer slack at these
+# sub-second scales). bench-diff thresholds only express regressions
+# (ratio >= 1.0), so this improvement floor is checked directly on the
+# fresh scratch document; bench-diff below still gates verdict flips and
+# slowdowns of the incr column against the committed baseline.
+INCR_ROW=$(sed -n 's/.*"name": "l-zipmap".*"total_s": \([0-9.]*\).*"incr_total_s": \([0-9.]*\).*/\1 \2/p' "$BENCH_SCRATCH")
+if [ -z "$INCR_ROW" ]; then
+    echo "tier1: bench-smoke: scratch baseline has no l-zipmap incr_total_s row" >&2
+    exit 1
+fi
+if ! awk -v row="$INCR_ROW" 'BEGIN { split(row, f, " "); exit !(f[2] <= f[1] * 0.25 + 0.02) }'; then
+    echo "tier1: bench-smoke: l-zipmap edit resubmit missed the 25% warm-edit gate (cold/incr seconds: $INCR_ROW)" >&2
+    exit 1
+fi
 bench_regen_hint() {
     echo "tier1: regenerate the baseline with:" >&2
     echo "tier1:   cargo run --release --offline -p homc-bench --bin table1 -- --json BENCH_table1.json" >&2
@@ -175,7 +220,7 @@ fi
 OLD_SCHEMA=$(bench_schema BENCH_table1.json)
 NEW_SCHEMA=$(bench_schema "$BENCH_SCRATCH")
 if [ "${OLD_SCHEMA:-none}" != "$NEW_SCHEMA" ]; then
-    echo "tier1: BENCH_table1.json has schema ${OLD_SCHEMA:-none} but this build writes schema $NEW_SCHEMA — stale baseline (schema 4 added the incremental-abstraction counters)." >&2
+    echo "tier1: BENCH_table1.json has schema ${OLD_SCHEMA:-none} but this build writes schema $NEW_SCHEMA — stale baseline (schema 5 added the cross-run incremental column)." >&2
     bench_regen_hint
     exit 1
 fi

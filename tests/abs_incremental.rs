@@ -254,7 +254,10 @@ fn incremental_reuse_is_byte_identical_across_refinement() {
         };
 
         let (bp0, s0) = run(&env0, &mut memo);
-        assert_eq!(s0.defs_reused, 0, "program {i}: nothing to reuse on first build");
+        assert_eq!(
+            s0.defs_reused, 0,
+            "program {i}: nothing to reuse on first build"
+        );
         assert_eq!(
             bp0.to_string(),
             eager(&env0).0.to_string(),
@@ -269,7 +272,11 @@ fn incremental_reuse_is_byte_identical_across_refinement() {
             "program {i}: full reuse expected under an unchanged environment"
         );
         assert_eq!(s_same.defs_rebuilt, 0, "program {i}: nothing changed");
-        assert_eq!(bp_same.to_string(), bp0.to_string(), "program {i}: reuse drifted");
+        assert_eq!(
+            bp_same.to_string(),
+            bp0.to_string(),
+            "program {i}: reuse drifted"
+        );
 
         // Refined environment: the touched cone rebuilds, the rest is
         // reused, and the result matches an eager build from scratch.
@@ -322,7 +329,10 @@ fn multi_iteration_run_reuses_memoized_definitions() {
         .expect("l-zipmap in suite");
     let out = verify(p.source, &VerifierOptions::default()).expect("no hard error");
     assert!(out.verdict.is_safe(), "l-zipmap must verify safe");
-    assert!(out.stats.cycles >= 3, "l-zipmap must take multiple CEGAR cycles");
+    assert!(
+        out.stats.cycles >= 3,
+        "l-zipmap must take multiple CEGAR cycles"
+    );
     assert!(
         out.stats.abs_defs_reused > 0,
         "later iterations must reuse memoized definitions (got 0 reuses over {} cycles)",

@@ -3,9 +3,7 @@
 //! job, the tallies add up, and the **unaffected** jobs are bit-for-bit
 //! undisturbed — their logical traces are byte-identical to solo runs.
 
-use homc::{
-    run_batch, suite, BatchJob, BatchOptions, JobFault, JobStatus,
-};
+use homc::{run_batch, suite, BatchJob, BatchOptions, JobFault, JobStatus};
 
 fn job(name: &str) -> BatchJob {
     let p = suite::find(name).expect("suite program");
@@ -126,7 +124,11 @@ fn deadline_exhaustion_degrades_to_unknown() {
     assert_eq!(report.failed, 0);
     assert_eq!(report.unknown, n);
     for j in &report.jobs {
-        assert_eq!(j.attempts, 1, "{}: deadline exhaustion is not retried", j.name);
+        assert_eq!(
+            j.attempts, 1,
+            "{}: deadline exhaustion is not retried",
+            j.name
+        );
         assert!(j.verdict.starts_with("unknown"), "got {:?}", j.verdict);
     }
 }

@@ -23,7 +23,8 @@ fn cross_validate(name: &str, bp: &homc_hbp::BProgram) {
         Err(_) => return, // budget: nothing to compare
     };
     let h = skeleton(bp);
-    h.check().unwrap_or_else(|e| panic!("{name}: skeleton kinds: {e}"));
+    h.check()
+        .unwrap_or_else(|e| panic!("{name}: skeleton kinds: {e}"));
     let automaton = TrivialAutomaton::fail_free(&h, &["fail"]);
     let skeleton_fails = rejected(&h, &automaton).expect("scheme checking");
     assert!(
@@ -71,8 +72,14 @@ fn engines_agree_on_suite_abstractions() {
         if trace.end != TraceEnd::ReachedFail {
             continue;
         }
-        if refine_env(&compiled.cps, &trace, &mut env, &solver, &RefineOptions::default())
-            .is_err()
+        if refine_env(
+            &compiled.cps,
+            &trace,
+            &mut env,
+            &solver,
+            &RefineOptions::default(),
+        )
+        .is_err()
         {
             continue;
         }

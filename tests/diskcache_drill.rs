@@ -12,9 +12,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use homc::{
-    suite, verify, Counter, DiskCache, Metrics, QueryCache, Verdict, VerifierOptions,
-};
+use homc::{suite, verify, Counter, DiskCache, Metrics, QueryCache, Verdict, VerifierOptions};
 
 const PROGRAM: &str = "sum";
 
@@ -44,7 +42,10 @@ fn warm_segment(dir: &Path) -> (Verdict, Vec<u8>) {
         .expect("publish succeeds")
         .expect("the run solves queries, so the segment is non-empty");
     assert!(pub_report.records > 0);
-    (baseline, fs::read(&pub_report.path).expect("segment readable"))
+    (
+        baseline,
+        fs::read(&pub_report.path).expect("segment readable"),
+    )
 }
 
 #[test]
@@ -72,7 +73,9 @@ fn byte_flips_never_change_verdicts() {
         let metrics = Metrics::new(false);
         let disk = DiskCache::new(&dir).with_metrics(metrics.clone());
         let cache = Arc::new(QueryCache::new());
-        let report = disk.load_into(&cache).expect("load never hard-fails on content");
+        let report = disk
+            .load_into(&cache)
+            .expect("load never hard-fails on content");
         assert!(
             report.quarantined > 0 || report.bad_records > 0,
             "{class}: the flip at offset {offset} must be detected, got {report}"

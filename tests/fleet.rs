@@ -40,21 +40,32 @@ fn run_ok(cmd: &mut Command) -> String {
 fn progress_stream_is_schema_valid_and_top_replays_it() {
     let dir = tmpdir("progress");
     let progress = dir.join("progress.jsonl");
-    run_ok(homc()
-        .args(["--suite", "sum", "--progress"])
-        .arg(&progress)
-        .args(["--trace-logical"])
-        .arg(dir.join("trace.jsonl")));
+    run_ok(
+        homc()
+            .args(["--suite", "sum", "--progress"])
+            .arg(&progress)
+            .args(["--trace-logical"])
+            .arg(dir.join("trace.jsonl")),
+    );
     let stream = fs::read_to_string(&progress).expect("progress written");
     let n = validate_trace(&stream).unwrap_or_else(|(l, e)| panic!("line {l}: {e}"));
-    assert!(n >= 4, "batch_start, job_queued, batch_job, batch_end: {stream}");
+    assert!(
+        n >= 4,
+        "batch_start, job_queued, batch_job, batch_end: {stream}"
+    );
     assert!(stream.contains("\"ev\":\"job_phase\""), "{stream}");
 
     // `homc top --snapshot` renders the settled stream, deterministically.
     let snap = run_ok(homc().args(["top", "--snapshot"]).arg(&progress));
     assert!(snap.contains("fleet: 1 job(s), 1 worker(s)"), "{snap}");
-    assert!(snap.contains("tally: 1 passed, 0 failed, 0 unknown"), "{snap}");
-    assert_eq!(snap, run_ok(homc().args(["top", "--snapshot"]).arg(&progress)));
+    assert!(
+        snap.contains("tally: 1 passed, 0 failed, 0 unknown"),
+        "{snap}"
+    );
+    assert_eq!(
+        snap,
+        run_ok(homc().args(["top", "--snapshot"]).arg(&progress))
+    );
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -63,14 +74,18 @@ fn progress_sink_does_not_perturb_logical_traces() {
     let dir = tmpdir("identity");
     let quiet = dir.join("quiet.jsonl");
     let observed = dir.join("observed.jsonl");
-    run_ok(homc()
-        .args(["--suite", "sum", "--trace-logical"])
-        .arg(&quiet));
-    run_ok(homc()
-        .args(["--suite", "sum", "--trace-logical"])
-        .arg(&observed)
-        .arg("--progress")
-        .arg(dir.join("progress.jsonl")));
+    run_ok(
+        homc()
+            .args(["--suite", "sum", "--trace-logical"])
+            .arg(&quiet),
+    );
+    run_ok(
+        homc()
+            .args(["--suite", "sum", "--trace-logical"])
+            .arg(&observed)
+            .arg("--progress")
+            .arg(dir.join("progress.jsonl")),
+    );
     let quiet = fs::read_to_string(&quiet).expect("quiet trace");
     let observed = fs::read_to_string(&observed).expect("observed trace");
     assert!(!quiet.is_empty());
@@ -95,10 +110,7 @@ fn batch_json_is_stable_and_schema_versioned() {
     );
     let jobs = v.get("jobs").and_then(JsonValue::as_arr).expect("jobs");
     assert_eq!(jobs.len(), 1);
-    assert_eq!(
-        jobs[0].get("name").and_then(JsonValue::as_str),
-        Some("sum")
-    );
+    assert_eq!(jobs[0].get("name").and_then(JsonValue::as_str), Some("sum"));
     assert_eq!(jobs[0].get("wall_us").and_then(JsonValue::as_num), Some(0));
     // Stable: a logical rerun produces the identical document.
     assert_eq!(doc, run_ok(homc().args(args)));
@@ -110,9 +122,11 @@ fn ledger_accumulates_and_history_renders() {
     let dir = tmpdir("ledger");
     let ledger = dir.join("ledger");
     for _ in 0..2 {
-        run_ok(homc()
-            .args(["batch", "sum", "--workers", "1", "--ledger"])
-            .arg(&ledger));
+        run_ok(
+            homc()
+                .args(["batch", "sum", "--workers", "1", "--ledger"])
+                .arg(&ledger),
+        );
     }
     assert!(ledger.join("run-000001.led").exists());
     assert!(ledger.join("run-000002.led").exists());
@@ -124,7 +138,11 @@ fn ledger_accumulates_and_history_renders() {
     assert!(filtered.contains("batch"), "{filtered}");
 
     // Two steady runs: the gate is clean.
-    let out = homc().arg("regress").arg(&ledger).output().expect("regress");
+    let out = homc()
+        .arg("regress")
+        .arg(&ledger)
+        .output()
+        .expect("regress");
     assert_eq!(out.status.code(), Some(0));
     let _ = fs::remove_dir_all(&dir);
 }
@@ -133,9 +151,7 @@ fn ledger_accumulates_and_history_renders() {
 fn metrics_out_is_wellformed_prometheus_exposition() {
     let dir = tmpdir("prom");
     let prom = dir.join("metrics.prom");
-    run_ok(homc()
-        .args(["--suite", "sum", "--metrics-out"])
-        .arg(&prom));
+    run_ok(homc().args(["--suite", "sum", "--metrics-out"]).arg(&prom));
     let text = fs::read_to_string(&prom).expect("metrics written");
     assert!(text.contains("# HELP"), "{text}");
     assert!(text.contains("# TYPE"), "{text}");
@@ -147,7 +163,10 @@ fn metrics_out_is_wellformed_prometheus_exposition() {
                 .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
             && !name.starts_with(|c: char| c.is_ascii_digit())
     };
-    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
         let name = line.split(['{', ' ']).next().unwrap_or("");
         assert!(name_ok(name), "bad metric name in {line:?}");
         assert!(

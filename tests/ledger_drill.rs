@@ -16,9 +16,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use homc::{
-    regress, stable_hash64, Counter, Ledger, Metrics, RunRecord, TrendOptions,
-};
+use homc::{regress, stable_hash64, Counter, Ledger, Metrics, RunRecord, TrendOptions};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("homc-ledger-drill-{tag}-{}", std::process::id()));

@@ -62,8 +62,14 @@ fn enabled_registry_counts_and_logical_zeroes_durations() {
     let metrics = Metrics::new(true);
     let (_, _) = logical_run(p.source, metrics.clone());
     let snap = metrics.snapshot();
-    assert!(snap.counter(Counter::SmtSolves) > 0, "no SMT solves counted");
-    assert!(snap.counter(Counter::AbsDefs) > 0, "no abstractions counted");
+    assert!(
+        snap.counter(Counter::SmtSolves) > 0,
+        "no SMT solves counted"
+    );
+    assert!(
+        snap.counter(Counter::AbsDefs) > 0,
+        "no abstractions counted"
+    );
     assert!(snap.counter(Counter::McRounds) > 0, "no MC rounds counted");
     assert!(snap.hist(Hist::HbpRules).count > 0, "empty hbp_rules hist");
     assert!(snap.hist(Hist::IterUs).count > 0, "empty iter hist");
@@ -95,7 +101,9 @@ fn folded_profile_telescopes_and_validates() {
     };
     verify(p.source, &opts).expect("no hard error");
     let profile = fold_trace(&tracer.snapshot().expect("memory sink"));
-    profile.check_telescoping().expect("children fit in parents");
+    profile
+        .check_telescoping()
+        .expect("children fit in parents");
     let folded = profile.folded();
     let stacks = validate_folded(&folded).expect("folded output is well-formed");
     assert!(stacks > 0, "profile produced no stacks:\n{folded}");
@@ -139,8 +147,16 @@ fn bench_diff_cli_exit_codes() {
     let base = write_tmp(&dir, "base.json", &bench_doc(META, 1.0, "safe", true));
 
     // Identical baselines: exit 0.
-    let ok = homc().args(["bench-diff", &base, &base]).output().expect("runs");
-    assert_eq!(ok.status.code(), Some(0), "{}", String::from_utf8_lossy(&ok.stdout));
+    let ok = homc()
+        .args(["bench-diff", &base, &base])
+        .output()
+        .expect("runs");
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
 
     // A 3x wall-time regression breaches the --gate thresholds: exit 1.
     let slow = write_tmp(&dir, "slow.json", &bench_doc(META, 3.0, "safe", true));
@@ -157,7 +173,10 @@ fn bench_diff_cli_exit_codes() {
 
     // A verdict flip is a hard error even without --gate: exit 2.
     let flip = write_tmp(&dir, "flip.json", &bench_doc(META, 1.0, "unsafe", false));
-    let flipped = homc().args(["bench-diff", &base, &flip]).output().expect("runs");
+    let flipped = homc()
+        .args(["bench-diff", &base, &flip])
+        .output()
+        .expect("runs");
     assert_eq!(
         flipped.status.code(),
         Some(2),
@@ -168,7 +187,11 @@ fn bench_diff_cli_exit_codes() {
     // Meta disagreement on a strict key refuses the comparison: exit 3.
     let other_meta =
         "  \"meta\": {\"schema\": 1, \"suite\": \"table1\", \"threads\": 4, \"clock\": \"wall\"},\n";
-    let old_schema = write_tmp(&dir, "old_schema.json", &bench_doc(other_meta, 1.0, "safe", true));
+    let old_schema = write_tmp(
+        &dir,
+        "old_schema.json",
+        &bench_doc(other_meta, 1.0, "safe", true),
+    );
     let refused = homc()
         .args(["bench-diff", &base, &old_schema])
         .output()
@@ -182,19 +205,30 @@ fn bench_diff_cli_exit_codes() {
 
     // Unreadable input: exit 3.
     let missing = dir.join("nope.json").to_string_lossy().into_owned();
-    let unreadable = homc().args(["bench-diff", &base, &missing]).output().expect("runs");
+    let unreadable = homc()
+        .args(["bench-diff", &base, &missing])
+        .output()
+        .expect("runs");
     assert_eq!(unreadable.status.code(), Some(3));
 }
 
 #[test]
 fn trace_diff_cli_exit_codes() {
     let dir = tmpdir("trace");
-    let (_, trace) = logical_run(suite::find("intro1").expect("present").source, Metrics::disabled());
+    let (_, trace) = logical_run(
+        suite::find("intro1").expect("present").source,
+        Metrics::disabled(),
+    );
     let a = write_tmp(&dir, "a.jsonl", &trace);
 
     // A trace against itself: no differences, exit 0.
     let same = homc().args(["trace-diff", &a, &a]).output().expect("runs");
-    assert_eq!(same.status.code(), Some(0), "{}", String::from_utf8_lossy(&same.stdout));
+    assert_eq!(
+        same.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&same.stdout)
+    );
 
     // Flip the verdict in the second trace: exit 2.
     let flipped_text = trace.replace("\"verdict\":\"safe\"", "\"verdict\":\"unsafe\"");

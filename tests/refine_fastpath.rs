@@ -17,9 +17,7 @@
 
 use homc_abs::{abstract_program, AbsEnv, AbsOptions};
 use homc_cegar::slice::{components, cone_events, screen_components, CompVerdict};
-use homc_cegar::{
-    build_trace, fastpath_sequence, refine_env, Event, RefineOptions, TraceEnd,
-};
+use homc_cegar::{build_trace, fastpath_sequence, refine_env, Event, RefineOptions, TraceEnd};
 use homc_hbp::check::CheckLimits;
 use homc_hbp::{find_error_path, source_labels, Checker};
 use homc_lang::frontend;
@@ -184,7 +182,11 @@ fn sequence_agrees_with_per_cut_engine() {
                          suffix\nparts: {parts:?}"
                     );
                     // Telescoping: I_{k-1} ∧ φ_k ⇒ I_k.
-                    let prev = if k == 0 { Formula::True } else { seq[k - 1].clone() };
+                    let prev = if k == 0 {
+                        Formula::True
+                    } else {
+                        seq[k - 1].clone()
+                    };
                     assert!(
                         refutes(
                             &solver,
@@ -215,7 +217,10 @@ fn sequence_agrees_with_per_cut_engine() {
             Err(_) => skipped += 1,
         }
     }
-    assert!(refuted > 50, "sweep too easy: only {refuted} refuted chains");
+    assert!(
+        refuted > 50,
+        "sweep too easy: only {refuted} refuted chains"
+    );
     assert!(sat > 50, "sweep too easy: only {sat} satisfiable chains");
     assert!(
         skipped < cases(1000) / 10,
@@ -332,8 +337,7 @@ fn fastpath_telescopes_on_suite_counterexamples() {
         // Walk the CEGAR loop by hand, checking the interpolant family of
         // every infeasible counterexample the suite program produces.
         for _round in 0..8 {
-            let Ok((bp, _)) = abstract_program(&compiled.cps, &env, &AbsOptions::default())
-            else {
+            let Ok((bp, _)) = abstract_program(&compiled.cps, &env, &AbsOptions::default()) else {
                 break;
             };
             let Ok(mut checker) = Checker::new(&bp, CheckLimits::default()) else {

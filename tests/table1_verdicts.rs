@@ -22,10 +22,7 @@ fn check(program: &suite::SuiteProgram) {
                 // The witness must be a *real* counterexample: replay it
                 // concretely and observe the failure.
                 let compiled = homc_lang::frontend(program.source).expect("compiles");
-                let mut driver = homc_lang::eval::ScriptDriver::new(
-                    path.clone(),
-                    witness.to_vec(),
-                );
+                let mut driver = homc_lang::eval::ScriptDriver::new(path.clone(), witness.to_vec());
                 let (outcome, _) = homc_lang::eval::run(&compiled.cps, &mut driver, 1_000_000);
                 assert!(
                     outcome.is_fail(),

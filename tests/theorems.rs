@@ -40,8 +40,14 @@ fn thm_4_3_soundness_of_abstraction() {
     let solver = SmtSolver::new();
     // One refinement round is enough for M1.
     let trace = build_trace(&compiled.cps, &[Label::Zero, Label::One], 10_000).expect("traces");
-    refine_env(&compiled.cps, &trace, &mut env, &solver, &RefineOptions::default())
-        .expect("refines");
+    refine_env(
+        &compiled.cps,
+        &trace,
+        &mut env,
+        &solver,
+        &RefineOptions::default(),
+    )
+    .expect("refines");
     let (bp, _) = abstract_program(&compiled.cps, &env, &AbsOptions::default()).expect("abstracts");
     let mut checker = Checker::new(&bp, CheckLimits::default()).expect("checker");
     checker.saturate().expect("saturates");
@@ -82,14 +88,21 @@ fn thm_5_3_progress() {
     let mut checker = Checker::new(&bp, CheckLimits::default()).expect("checker");
     checker.saturate().expect("saturates");
     assert!(checker.may_fail(), "round 1 must find a (spurious) path");
-    let path1 = find_error_path(&mut checker).expect("budget").expect("path");
+    let path1 = find_error_path(&mut checker)
+        .expect("budget")
+        .expect("path");
     let labels1 = source_labels(&path1);
 
     let trace = build_trace(&compiled.cps, &labels1, 10_000).expect("traces");
     assert_eq!(trace.end, TraceEnd::ReachedFail);
-    let (feas, changed) =
-        refine_env(&compiled.cps, &trace, &mut env, &solver, &RefineOptions::default())
-            .expect("refines");
+    let (feas, changed) = refine_env(
+        &compiled.cps,
+        &trace,
+        &mut env,
+        &solver,
+        &RefineOptions::default(),
+    )
+    .expect("refines");
     assert!(matches!(feas, Feasibility::Infeasible));
     assert!(changed);
 
@@ -100,7 +113,9 @@ fn thm_5_3_progress() {
     let mut checker2 = Checker::new(&bp2, CheckLimits::default()).expect("checker");
     checker2.saturate().expect("saturates");
     if checker2.may_fail() {
-        let path2 = find_error_path(&mut checker2).expect("budget").expect("path");
+        let path2 = find_error_path(&mut checker2)
+            .expect("budget")
+            .expect("path");
         assert_ne!(
             source_labels(&path2),
             labels1,
