@@ -350,6 +350,49 @@ pub fn abstract_program_metered(
     Ok((bp, stats))
 }
 
+/// Abstraction with every satisfiability query answered by `oracle` instead
+/// of the solver — the evidence layer's record/replay hook.
+///
+/// The run is forced sequential and [`EnumMode::Exhaustive`] (whose queries
+/// all route through the oracle; model-guided mode would consult the solver
+/// directly for models). Both modes produce the identical cube set, so the
+/// resulting program is the same function of `(program, env, answers)` that
+/// the production pipeline computes — an oracle answering from recorded
+/// UNSAT proofs reproduces (or over-approximates) the run being checked.
+pub fn abstract_program_with_oracle(
+    program: &Program,
+    env: &AbsEnv,
+    opts: &AbsOptions,
+    oracle: &SatOracleDyn<'_>,
+) -> Result<(BProgram, AbsStats), AbsError> {
+    let opts = AbsOptions {
+        threads: 1,
+        enum_mode: EnumMode::Exhaustive,
+        ..opts.clone()
+    };
+    let mut out = Vec::new();
+    let mut stats = AbsStats::default();
+    for ns in 0..=program.defs.len() {
+        let mut a = Abstractor::new(program, env, &opts, None, None, ns).with_oracle(oracle);
+        if let Some(d) = program.defs.get(ns) {
+            let def = a.abstract_def(d)?;
+            a.out.push(def);
+        } else {
+            let entry = a.build_entry()?;
+            a.out.push(entry);
+        }
+        out.extend(a.out);
+        stats.absorb(&a.stats);
+    }
+    let bp = BProgram {
+        defs: out,
+        main: FunName("__entry".to_string()),
+    };
+    bp.check()
+        .map_err(|e| AbsError::invalid(format!("abstraction produced an ill-formed program: {e}")))?;
+    Ok((bp, stats))
+}
+
 /// One in-scope abstract component: `(variable, component index, meaning)`.
 type CtxPair = (Var, usize, Formula);
 
@@ -391,7 +434,17 @@ struct Abstractor<'a> {
     /// deterministic order, so skips are identical across thread counts and
     /// cache states. Bounded by [`MODEL_POOL_CAP`].
     model_pool: Vec<Model>,
+    /// When set, every [`Abstractor::query_sat`] consults this instead of
+    /// the solver (the evidence layer's record/replay hook). Only meaningful
+    /// under [`EnumMode::Exhaustive`], whose queries all route through
+    /// `query_sat`; see [`abstract_program_with_oracle`].
+    oracle: Option<&'a SatOracleDyn<'a>>,
 }
+
+/// The answer source injected by [`abstract_program_with_oracle`]: `Ok(false)`
+/// means "proved unsatisfiable", `Ok(true)` means "satisfiable or unknown"
+/// (the sound default), `Err` aborts the abstraction.
+pub type SatOracleDyn<'o> = dyn Fn(&Formula) -> Result<bool, AbsError> + 'o;
 
 /// Upper bound on [`Abstractor::model_pool`] (oldest evicted first). Kept
 /// small: hits come almost entirely from the most recent models (adjacent
@@ -428,7 +481,14 @@ impl<'a> Abstractor<'a> {
             tracer: Tracer::disabled(),
             ctx_trunc_reported: false,
             model_pool: Vec::new(),
+            oracle: None,
         }
+    }
+
+    /// Routes this task's satisfiability queries to an external oracle.
+    fn with_oracle(mut self, oracle: &'a SatOracleDyn<'a>) -> Abstractor<'a> {
+        self.oracle = Some(oracle);
+        self
     }
 
     /// Routes this task's SMT queries to the trace sink (each solved
@@ -459,6 +519,9 @@ impl<'a> Abstractor<'a> {
     /// surface as `Unknown`, not silently coarsen.
     fn query_sat(&mut self, f: &Formula) -> Result<bool, AbsError> {
         self.stats.sat_queries += 1;
+        if let Some(oracle) = self.oracle {
+            return oracle(f);
+        }
         match self.solver.check(f) {
             SatResult::Unsat => Ok(false),
             SatResult::Exhausted(e) => Err(AbsError::Exhausted(e)),

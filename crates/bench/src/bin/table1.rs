@@ -32,8 +32,9 @@ static COUNTING_ALLOC: homc_metrics::mem::CountingAlloc = homc_metrics::mem::Cou
 /// The baseline document's schema version. `bench-diff` refuses to compare
 /// documents whose schema (or suite, or clock mode) disagrees. Schema 5
 /// added the cross-run incremental column (`incr_total_s` per row,
-/// `incr_wall_s` in the totals).
-const SCHEMA: u64 = 5;
+/// `incr_wall_s` in the totals); schema 6 added the evidence-checker
+/// column (`check_s` per row, `check_wall_s` in the totals).
+const SCHEMA: u64 = 6;
 
 /// Escapes a string for a JSON string literal (the names and verdicts here
 /// are ASCII identifiers, but quoting defensively costs nothing).
@@ -65,6 +66,7 @@ fn to_json(rows: &[Row]) -> String {
     let mut peak = 0u64;
     let (mut warm_total, mut disk_hits) = (0.0f64, 0u64);
     let mut incr_total = 0.0f64;
+    let mut check_total = 0.0f64;
     let mut body = String::from("{\n");
     let _ = writeln!(
         body,
@@ -99,6 +101,7 @@ fn to_json(rows: &[Row]) -> String {
         warm_total += r.warm_total_s;
         disk_hits += r.warm_disk_hits;
         incr_total += r.incr_total_s;
+        check_total += r.check_s;
         let _ = writeln!(
             body,
             "    {{\"name\": {}, \"verdict\": {}, \"verdict_ok\": {}, \"cycles\": {}, \
@@ -111,7 +114,8 @@ fn to_json(rows: &[Row]) -> String {
              \"abs_queries_saved\": {}, \"abs_ctx_truncated\": {}, \
              \"peak_bytes\": {}, \"peak_abs_bytes\": {}, \"peak_mc_bytes\": {}, \
              \"peak_feas_bytes\": {}, \"peak_interp_bytes\": {}, \
-             \"warm_total_s\": {:.4}, \"warm_disk_hits\": {}, \"incr_total_s\": {:.4}}}{}",
+             \"warm_total_s\": {:.4}, \"warm_disk_hits\": {}, \"incr_total_s\": {:.4}, \
+             \"check_s\": {:.4}}}{}",
             json_str(r.name),
             json_str(verdict),
             r.verdict_ok,
@@ -143,6 +147,7 @@ fn to_json(rows: &[Row]) -> String {
             r.warm_total_s,
             r.warm_disk_hits,
             r.incr_total_s,
+            r.check_s,
             if i + 1 == rows.len() { "" } else { "," },
         );
     }
@@ -156,7 +161,8 @@ fn to_json(rows: &[Row]) -> String {
          \"abs_implicants\": {implicants}, \"abs_queries_saved\": {queries_saved}, \
          \"abs_ctx_truncated\": {ctx_trunc}, \
          \"peak_bytes\": {peak}, \"warm_wall_s\": {warm_total:.4}, \
-         \"warm_disk_hits\": {disk_hits}, \"incr_wall_s\": {incr_total:.4}}}\n}}\n",
+         \"warm_disk_hits\": {disk_hits}, \"incr_wall_s\": {incr_total:.4}, \
+         \"check_wall_s\": {check_total:.4}}}\n}}\n",
     );
     body
 }
@@ -205,8 +211,10 @@ fn main() -> ExitCode {
     let warm: f64 = rows.iter().map(|r| r.warm_total_s).sum();
     let disk_hits: u64 = rows.iter().map(|r| r.warm_disk_hits).sum();
     let incr: f64 = rows.iter().map(|r| r.incr_total_s).sum();
+    let check: f64 = rows.iter().map(|r| r.check_s).sum();
     println!("warm rerun {warm:.2}s via disk cache ({disk_hits} disk hits)");
     println!("incr rerun {incr:.2}s via artifact store (single-literal edit resubmit)");
+    println!("evidence check {check:.2}s via independent certificate checker");
     println!(
         "total {total:.2}s; verdicts: {}",
         if all_ok {

@@ -14,8 +14,9 @@
 use std::sync::Arc;
 
 use homc::{
-    parse_json, suite::SuiteProgram, verify, ArtifactConfig, DiskCache, Expected, JsonValue,
-    QueryCache, Tracer, Verdict, VerifierOptions, VerifyOutcome,
+    check_evidence, parse_json, stable_hash64, suite::SuiteProgram, verify, ArtifactConfig,
+    DiskCache, EvidenceConfig, Expected, JsonValue, Metrics, QueryCache, Tracer, Verdict,
+    VerifierOptions, VerifyOutcome,
 };
 
 /// One row of the regenerated Table 1.
@@ -49,6 +50,11 @@ pub struct Row {
     /// with a fresh query cache. `0.0` when the rerun could not be
     /// measured.
     pub incr_total_s: f64,
+    /// Seconds the independent checker spent re-establishing the cold
+    /// run's verdict from its exported evidence certificate. `0.0` when
+    /// the run was undecided (no evidence to check); a check *failure*
+    /// fails the row's `verdict_ok` instead.
+    pub check_s: f64,
 }
 
 /// Distills `(iterations, peak HBP size)` from a run's trace.
@@ -77,13 +83,29 @@ pub fn run_program(p: &SuiteProgram) -> Row {
     let opts = VerifierOptions {
         tracer: tracer.clone(),
         cache: Some(cache.clone()),
+        evidence: Some(EvidenceConfig {
+            dir: None,
+            key: p.name.to_string(),
+            source_hash: stable_hash64(p.source),
+        }),
         ..VerifierOptions::default()
     };
     let outcome = verify(p.source, &opts).unwrap_or_else(|e| panic!("{}: {e}", p.name));
-    let verdict_ok = match p.expected {
+    let mut verdict_ok = match p.expected {
         Expected::Safe => outcome.verdict.is_safe(),
         Expected::Unsafe => outcome.verdict.is_unsafe(),
         Expected::Diverges => !outcome.verdict.is_unsafe(),
+    };
+    // The independent checker must re-establish every decisive verdict
+    // from the exported certificate alone; a rejection fails the row.
+    let check_s = match &outcome.evidence {
+        Some(ev) => {
+            let t = std::time::Instant::now();
+            let ok = check_evidence(p.source, ev, &Metrics::disabled()).is_ok();
+            verdict_ok = verdict_ok && ok;
+            t.elapsed().as_secs_f64()
+        }
+        None => 0.0,
     };
     let (iterations, peak_hbp) = trace_metrics(&tracer.snapshot().unwrap_or_default());
     let (warm_total_s, warm_disk_hits) = warm_rerun(p, &cache);
@@ -102,6 +124,7 @@ pub fn run_program(p: &SuiteProgram) -> Row {
         warm_total_s,
         warm_disk_hits,
         incr_total_s,
+        check_s,
     }
 }
 

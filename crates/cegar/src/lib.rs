@@ -33,7 +33,8 @@ pub use refine::{
     check_feasibility, discover_predicates, discover_predicates_budgeted,
     discover_predicates_cached, discover_predicates_metered, discover_predicates_traced,
     fastpath_sequence, refine_env,
-    refine_env_budgeted, refine_env_traced, Feasibility, RefineError, RefineOptions, Refinement,
+    refine_env_budgeted, refine_env_traced, Feasibility, PredProvenance, PredSource, RefineError,
+    RefineOptions, Refinement,
 };
 pub use shp::{
     build_trace, build_trace_budgeted, Activation, Event, SymVal, Trace, TraceEnd, TraceError,

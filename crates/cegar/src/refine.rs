@@ -106,6 +106,49 @@ pub struct Refinement {
     /// Cut interpolants derived from a shared Farkas certificate (sequence
     /// interpolation) instead of an independent per-cut refutation.
     pub cert_reuse_hits: usize,
+    /// Where each installed predicate came from (one entry per install
+    /// target), in discovery order — the raw material for `homc explain`.
+    pub provenance: Vec<PredProvenance>,
+}
+
+/// How a predicate was discovered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredSource {
+    /// Craig interpolation at a cut point (§5.2.2).
+    Interp,
+    /// Harvested from a path condition ([`RefineOptions::seed_from_path`]).
+    Seed,
+    /// The §5.3 enumeration device ([`RefineOptions::enumerate_gen_p`]).
+    GenP,
+}
+
+impl PredSource {
+    /// The short name used in traces and `homc explain`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PredSource::Interp => "interp",
+            PredSource::Seed => "seed",
+            PredSource::GenP => "gen_p",
+        }
+    }
+}
+
+/// The origin of one installed predicate: which binding it landed on, the
+/// trace cut it was solved at, and how it was discovered. The verifier stamps
+/// these with the CEGAR iteration as refinements are applied.
+#[derive(Clone, Debug)]
+pub struct PredProvenance {
+    /// The binding the predicate was installed on, in the notation of the
+    /// verifier's `preds_by_binding` report: `f:x` for a scheme parameter,
+    /// `f:g@k` for position `k` of higher-order parameter `g`, and
+    /// `rand:site` for a `rand_int` site.
+    pub target: String,
+    /// The trace cut index the predicate was solved at.
+    pub cut: usize,
+    /// How the predicate was discovered.
+    pub source: PredSource,
+    /// The predicate rendered over the target's names.
+    pub pred: String,
 }
 
 /// A predicate for an argument position of a function-typed parameter.
@@ -362,7 +405,8 @@ pub fn discover_predicates_metered(
                 program,
                 trace,
                 &mut out,
-                true,
+                PredSource::Interp,
+                ci,
             )?;
         }
     } else {
@@ -435,7 +479,8 @@ pub fn discover_predicates_metered(
                     program,
                     trace,
                     &mut out,
-                    true,
+                    PredSource::Interp,
+                    ci,
                 )?;
             }
             solved.push(solution);
@@ -447,7 +492,7 @@ pub fn discover_predicates_metered(
     }
     if opts.enumerate_gen_p {
         // §5.3: inject genP(iteration) at every cut, renamed to the cut's ν.
-        for &i in &cuts {
+        for (ci, &i) in cuts.iter().enumerate() {
             let (sym, deps) = match &trace.events[i] {
                 Event::Bind { sym, deps, .. } | Event::Rand { sym, deps, .. } => (sym, deps),
                 Event::Cond(_) => unreachable!(),
@@ -471,7 +516,8 @@ pub fn discover_predicates_metered(
                 program,
                 trace,
                 &mut out,
-                false,
+                PredSource::GenP,
+                ci,
             )?;
         }
     }
@@ -654,8 +700,10 @@ fn record_predicate(
     program: &Program,
     trace: &Trace,
     out: &mut Refinement,
-    interpolated: bool,
+    source: PredSource,
+    cut: usize,
 ) -> Result<(), RefineError> {
+    let interpolated = source == PredSource::Interp;
     match event {
         Event::Bind {
             activation,
@@ -717,6 +765,12 @@ fn record_predicate(
                         (x.clone(), ty)
                     })
                     .collect();
+                out.provenance.push(PredProvenance {
+                    target: format!("{fname}:{param}"),
+                    cut,
+                    source,
+                    pred: pred.to_string(),
+                });
                 merge_scheme(&mut out.fun_updates, fname, scheme);
                 if interpolated {
                     out.interpolated += 1;
@@ -766,11 +820,18 @@ fn record_predicate(
                     v.clone()
                 });
                 if ok && !matches!(body, Formula::True | Formula::False) {
+                    let pred = Predicate::new(sym.clone(), body);
+                    out.provenance.push(PredProvenance {
+                        target: format!("{o_def}:{}@{chain_pos}", origin.param),
+                        cut,
+                        source,
+                        pred: pred.to_string(),
+                    });
                     out.ho_updates.push(HoUpdate {
                         def: o_def,
                         param: origin.param.clone(),
                         chain_pos,
-                        pred: Predicate::new(sym.clone(), body),
+                        pred,
                     });
                 }
             }
@@ -809,6 +870,12 @@ fn record_predicate(
                 let pred = Predicate::new(sym.clone(), body);
                 let entry = out.rand_updates.entry(orig.clone()).or_default();
                 if !entry.iter().any(|p| p.alpha_eq(&pred)) {
+                    out.provenance.push(PredProvenance {
+                        target: format!("rand:{orig}"),
+                        cut,
+                        source,
+                        pred: pred.to_string(),
+                    });
                     entry.push(pred);
                     if interpolated {
                         out.interpolated += 1;
@@ -859,7 +926,7 @@ fn seed_from_conditions(
             collect_atoms(f, &mut atoms);
         }
     }
-    for &i in cuts {
+    for (ci, &i) in cuts.iter().enumerate() {
         let (sym, deps) = match &trace.events[i] {
             Event::Bind { sym, deps, .. } => (sym, deps),
             Event::Rand { sym, deps, .. } => (sym, deps),
@@ -878,7 +945,8 @@ fn seed_from_conditions(
                     program,
                     trace,
                     out,
-                    false,
+                    PredSource::Seed,
+                    ci,
                 )?;
             }
         }

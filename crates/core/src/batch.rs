@@ -26,10 +26,13 @@ use homc_serve::{
     PublishReport, RetryPolicy,
 };
 use homc_smt::{CancelToken, QueryCache};
-use homc_trace::Tracer;
+use homc_trace::{stable_hash64, Tracer};
 
+use crate::evcheck::check_evidence;
 use crate::suite::Expected;
-use crate::verifier::{verify, ArtifactConfig, UnknownReason, Verdict, VerifierOptions, VerifyStats};
+use crate::verifier::{
+    verify, ArtifactConfig, EvidenceConfig, UnknownReason, Verdict, VerifierOptions, VerifyStats,
+};
 
 /// A deterministic fault injected into one batch job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +96,12 @@ pub struct BatchOptions {
     /// the artifact keyed by its own name, so a resubmitted batch re-verifies
     /// only the edited dependency cones. `None` runs cold.
     pub artifacts_dir: Option<PathBuf>,
+    /// Directory of the verdict-evidence store. Each decisive job exports a
+    /// certificate keyed by its own name and immediately *self-checks* it
+    /// with the independent checker; a failed self-check demotes the job to
+    /// `Failed` (the verdict cannot be trusted as recorded). `None` exports
+    /// nothing.
+    pub evidence_dir: Option<PathBuf>,
     /// Deterministic disk fault applied to the segment published at the end.
     pub disk_fault: Option<DiskFault>,
     /// Deterministic per-job faults.
@@ -123,6 +132,7 @@ impl Default for BatchOptions {
             watchdog: None,
             cache_dir: None,
             artifacts_dir: None,
+            evidence_dir: None,
             disk_fault: None,
             job_faults: Vec::new(),
             trace_dir: None,
@@ -176,6 +186,12 @@ pub struct JobReport {
     pub retry_detail: Option<String>,
     /// Effort counters, when verification produced an outcome at all.
     pub stats: Option<VerifyStats>,
+    /// Digest of the exported evidence certificate (0 when none).
+    pub evidence_digest: u64,
+    /// Outcome of the in-run evidence self-check: `Some(true)` validated,
+    /// `Some(false)` rejected (the job is demoted to `Failed`), `None` when
+    /// no evidence was exported.
+    pub check: Option<bool>,
     /// Captured in-memory trace (only with `capture_traces`).
     pub trace: Option<String>,
 }
@@ -206,6 +222,8 @@ struct Settled {
     verdict: String,
     wall: Duration,
     stats: Option<VerifyStats>,
+    evidence_digest: u64,
+    check: Option<bool>,
     trace: Option<String>,
 }
 
@@ -295,6 +313,11 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
             dir: dir.clone(),
             key: job.name.clone(),
         });
+        vopts.evidence = opts.evidence_dir.as_ref().map(|dir| EvidenceConfig {
+            dir: Some(dir.clone()),
+            key: job.name.clone(),
+            source_hash: stable_hash64(&job.source),
+        });
         if fault == Some(JobFaultKind::Exhaust) {
             vopts.fuel = Some(1);
         }
@@ -332,14 +355,32 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
             let trace = tracer.snapshot();
             match result {
                 Ok(out) => {
+                    let mut status = tally(&out.verdict, expected);
+                    let mut verdict = match &out.verdict {
+                        Verdict::Safe => "safe".to_string(),
+                        Verdict::Unsafe { .. } => "unsafe".to_string(),
+                        Verdict::Unknown { reason } => format!("unknown ({reason})"),
+                    };
+                    // The trust loop closes in-run: the certificate just
+                    // exported is handed straight to the independent
+                    // checker. A rejection is a *failure* — the recorded
+                    // verdict has no standing evidence — and is spelled out
+                    // in the verdict text so ledgers and `homc regress`
+                    // flag the run.
+                    let check = out
+                        .evidence
+                        .as_ref()
+                        .map(|ev| check_evidence(&source, ev, &vopts.metrics).is_ok());
+                    if check == Some(false) {
+                        status = JobStatus::Failed;
+                        verdict.push_str(" (evidence check FAILED)");
+                    }
                     let settled = Settled {
-                        status: tally(&out.verdict, expected),
-                        verdict: match &out.verdict {
-                            Verdict::Safe => "safe".to_string(),
-                            Verdict::Unsafe { .. } => "unsafe".to_string(),
-                            Verdict::Unknown { reason } => format!("unknown ({reason})"),
-                        },
+                        status,
+                        verdict,
                         wall,
+                        evidence_digest: out.stats.evidence_digest,
+                        check,
                         stats: Some(out.stats),
                         trace,
                     };
@@ -366,6 +407,8 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
                     verdict: format!("error: {e}"),
                     wall,
                     stats: None,
+                    evidence_digest: 0,
+                    check: None,
                     trace,
                 }),
             }
@@ -397,6 +440,8 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
                 attempts: res.attempts,
                 retry_detail: res.retry_detail,
                 stats: s.stats,
+                evidence_digest: s.evidence_digest,
+                check: s.check,
                 trace: s.trace,
             },
             JobOutcome::Panicked { detail } => JobReport {
@@ -407,6 +452,8 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
                 attempts: res.attempts,
                 retry_detail: res.retry_detail,
                 stats: None,
+                evidence_digest: 0,
+                check: None,
                 trace: None,
             },
             JobOutcome::Cancelled => JobReport {
@@ -417,6 +464,8 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
                 attempts: res.attempts,
                 retry_detail: res.retry_detail,
                 stats: None,
+                evidence_digest: 0,
+                check: None,
                 trace: None,
             },
         };
@@ -485,7 +534,9 @@ pub fn run_batch(jobs: Vec<BatchJob>, opts: &BatchOptions) -> io::Result<BatchRe
 }
 
 /// Schema version of [`render_batch_json`] output; bump on any field change.
-pub const BATCH_SCHEMA: u64 = 1;
+/// Schema 2 added the per-job `evidence_digest` (hex string, null when no
+/// certificate was exported) and `check` (self-check outcome) fields.
+pub const BATCH_SCHEMA: u64 = 2;
 
 /// Machine-readable `homc batch --json` rendering: stable field order,
 /// schema-versioned, newline-terminated. Wall times are zeroed when
@@ -507,10 +558,23 @@ pub fn render_batch_json(report: &BatchReport, workers: usize, logical: bool) ->
             Some(d) => esc(d),
             None => "null".to_string(),
         };
+        // The digest is a full-width u64: emitted as a hex *string* so JSON
+        // consumers limited to f64 numbers cannot corrupt it.
+        let digest = if j.evidence_digest == 0 {
+            "null".to_string()
+        } else {
+            format!("\"{:016x}\"", j.evidence_digest)
+        };
+        let check = match j.check {
+            Some(true) => "\"pass\"",
+            Some(false) => "\"fail\"",
+            None => "null",
+        };
         let _ = writeln!(
             s,
             "    {{\"name\": {}, \"status\": \"{}\", \"verdict\": {}, \"wall_us\": {}, \
-             \"attempts\": {}, \"retry_detail\": {}, \"cache_hits\": {}, \"disk_hits\": {}}}{comma}",
+             \"attempts\": {}, \"retry_detail\": {}, \"cache_hits\": {}, \"disk_hits\": {}, \
+             \"evidence_digest\": {digest}, \"check\": {check}}}{comma}",
             esc(&j.name),
             j.status.as_str(),
             esc(&j.verdict),
@@ -606,9 +670,31 @@ mod tests {
 
         let json = render_batch_json(&report, 2, true);
         assert_eq!(json, render_batch_json(&report, 2, true));
-        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"schema\": 2"), "{json}");
         assert!(json.contains("\"wall_us\": 0"), "{json}");
         assert!(json.contains("\"retry_detail\": null"), "{json}");
+        // No evidence dir was configured, so both new fields are null.
+        assert!(json.contains("\"evidence_digest\": null"), "{json}");
+        assert!(json.contains("\"check\": null"), "{json}");
+    }
+
+    #[test]
+    fn evidence_dir_exports_and_self_checks() {
+        let dir = std::env::temp_dir().join(format!("homc-batch-evd-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = BatchOptions {
+            evidence_dir: Some(dir.clone()),
+            ..BatchOptions::default()
+        };
+        let report = run_batch(vec![job("sum"), job("sum-e")], &opts).unwrap();
+        assert_eq!(report.failed, 0, "self-check must not demote sound runs");
+        for j in &report.jobs {
+            assert_eq!(j.check, Some(true), "{} failed its self-check", j.name);
+            assert_ne!(j.evidence_digest, 0, "{} exported no digest", j.name);
+        }
+        let json = render_batch_json(&report, 1, true);
+        assert!(json.contains("\"check\": \"pass\""), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

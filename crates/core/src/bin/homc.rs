@@ -34,6 +34,19 @@
 //!                                   trailing-window median baseline; exit 1
 //!                                   on a latency breach, 2 on a verdict
 //!                                   flip, 3 on an incompatible ledger
+//! homc check (<file.ml> | --suite [program]) --evidence-dir <dir>
+//!                                   independently re-establish recorded
+//!                                   verdicts from exported evidence: safe
+//!                                   certificates are proof-checked and
+//!                                   their invariants re-closed, unsafe
+//!                                   counterexamples replayed through the
+//!                                   interpreter; no CEGAR, no SMT search
+//! homc explain (<file.ml> | --suite <program>)
+//!                                   verify one program and narrate the
+//!                                   verdict: certificate summary, per-
+//!                                   iteration predicate provenance, dead-
+//!                                   predicate census, heaviest refuted
+//!                                   queries (byte-deterministic output)
 //!
 //! options:
 //!   --timeout <secs>      per-program wall-clock deadline (fractions allowed)
@@ -65,6 +78,13 @@
 //!                         changed dependency cones (seeding is candidate-
 //!                         only, so it can speed a run up but never change
 //!                         its verdict)
+//!   --evidence-dir <dir>  export a verdict-evidence certificate per decisive
+//!                         program: safe runs record the final predicate
+//!                         environment, the saturated invariant, and one
+//!                         refutation proof per UNSAT query it depends on;
+//!                         unsafe runs record the replayable counterexample.
+//!                         `homc check` re-establishes the verdicts from the
+//!                         directory alone
 //! ```
 //!
 //! Every program reports exactly one of `safe`, `unsafe`, or `unknown`; the
@@ -77,11 +97,12 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use homc::{
-    bench_diff, fold_trace, ledger_record, parse_threshold, progress_complete, regress,
-    render_batch_json, render_history, render_report, render_top, run_batch, suite, trace_diff,
-    validate_folded, validate_trace, verify, ArtifactConfig, BatchJob, BatchOptions, DiffOptions,
-    DiskFault, Expected, Fault, FaultPlan, JobFault, JobStatus, Ledger, Metrics, RunRecord,
-    Tracer, TrendOptions, Verdict, VerifierOptions, VerifyStats,
+    bench_diff, check_evidence, fold_trace, ledger_record, parse_threshold, progress_complete,
+    regress, render_batch_json, render_explain, render_history, render_report, render_top,
+    run_batch, stable_hash64, suite, trace_diff, validate_folded, validate_trace, verify,
+    ArtifactConfig, BatchJob, BatchOptions, DiffOptions, DiskFault, EvidenceConfig, EvidenceStore,
+    Expected, Fault, FaultPlan, JobFault, JobStatus, Ledger, Metrics, RunRecord, Tracer,
+    TrendOptions, Verdict, VerifierOptions, VerifyStats,
 };
 
 // The binary (not the library) installs the counting allocator: tests and
@@ -200,13 +221,14 @@ fn run_one(
                 ));
                 say(format_args!(
                     "{:12} abs_defs_reused={} abs_defs_rebuilt={} abs_implicants={} \
-                     abs_queries_saved={} abs_ctx_truncated={}",
+                     abs_queries_saved={} abs_ctx_truncated={} preds_dead={}",
                     "",
                     out.stats.abs_defs_reused,
                     out.stats.abs_defs_rebuilt,
                     out.stats.abs_implicants,
                     out.stats.abs_queries_saved,
                     out.stats.abs_ctx_truncated,
+                    out.stats.preds_dead,
                 ));
                 say(format_args!(
                     "{:12} reverify_defs_skipped={} reverify_preds_seeded={} \
@@ -216,6 +238,12 @@ fn run_one(
                     out.stats.reverify_preds_seeded,
                     out.stats.artifact_quarantine,
                 ));
+                if out.stats.evidence_digest != 0 {
+                    say(format_args!(
+                        "{:12} evidence_digest={:016x}",
+                        "", out.stats.evidence_digest,
+                    ));
+                }
             }
             if show_stats && out.stats.peak_bytes > 0 {
                 say(format_args!(
@@ -312,6 +340,7 @@ struct Cli {
     ledger: Option<String>,
     metrics_out: Option<String>,
     artifacts_dir: Option<String>,
+    evidence_dir: Option<String>,
     target: Option<String>,
 }
 
@@ -328,15 +357,17 @@ const SUBCOMMANDS: &[&str] = &[
     "top",
     "history",
     "regress",
+    "check",
+    "explain",
 ];
 
 const USAGE: &str = "\
 usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] [--stats] \
 [--trace <out.jsonl> | --trace-logical <out.jsonl>]\n\
 \x20           [--progress <out.jsonl>] [--ledger <dir>] [--metrics-out <file>] \
-[--artifacts-dir <dir>] (<file.ml> | --suite [program])\n\
+[--artifacts-dir <dir>] [--evidence-dir <dir>] (<file.ml> | --suite [program])\n\
 \x20      homc batch [--workers <n>] [--cache-dir <dir>] [--artifacts-dir <dir>] \
-[--trace-dir <dir>] [--logical]\n\
+[--evidence-dir <dir>] [--trace-dir <dir>] [--logical]\n\
 \x20                 [--timeout <secs>] [--watchdog <secs>] [--stats] [--json]\n\
 \x20                 [--progress <out.jsonl>] [--ledger <dir>] [--metrics-out <file>]\n\
 \x20                 [--inject-job <idx:panic|exhaust>]\n\
@@ -348,7 +379,10 @@ usage: homc [--timeout <secs>] [--inject <phase:n[:kind]>] [--stats] \
 \x20      homc bench-diff <old.json> <new.json> [--threshold <n=r[:s]>]... [--gate]\n\
 \x20      homc top <progress.jsonl> [--snapshot] [--interval <secs>]\n\
 \x20      homc history <ledger-dir> [program]\n\
-\x20      homc regress <ledger-dir> [--window <n>] [--ratio <r>] [--slack <ms>]";
+\x20      homc regress <ledger-dir> [--window <n>] [--ratio <r>] [--slack <ms>]\n\
+\x20      homc check (<file.ml> | --suite [program]) --evidence-dir <dir>\n\
+\x20      homc explain (<file.ml> | --suite <program>) [--evidence-dir <dir>] \
+[--trace-logical <out.jsonl>]";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -366,6 +400,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         ledger: None,
         metrics_out: None,
         artifacts_dir: None,
+        evidence_dir: None,
         target: None,
     };
     let mut i = 0;
@@ -406,7 +441,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.trace = Some((v.clone(), flag == "--trace-logical"));
                 i += 2;
             }
-            flag @ ("--progress" | "--ledger" | "--metrics-out" | "--artifacts-dir") => {
+            flag @ ("--progress" | "--ledger" | "--metrics-out" | "--artifacts-dir"
+            | "--evidence-dir") => {
                 let v = args
                     .get(i + 1)
                     .ok_or_else(|| format!("{flag} needs a path"))?;
@@ -414,6 +450,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     "--progress" => &mut cli.progress,
                     "--ledger" => &mut cli.ledger,
                     "--artifacts-dir" => &mut cli.artifacts_dir,
+                    "--evidence-dir" => &mut cli.evidence_dir,
                     _ => &mut cli.metrics_out,
                 };
                 *slot = Some(v.clone());
@@ -828,6 +865,247 @@ fn cmd_regress(args: &[String]) -> ExitCode {
     ExitCode::from(report.exit_code())
 }
 
+/// Shared target resolution for `check`/`explain`: suite names (all of the
+/// suite, or one filtered program) or a readable source file. Each entry is
+/// `(key, source)` where the key matches what a verifying run with
+/// `--evidence-dir` published under.
+fn resolve_targets(
+    suite_mode: bool,
+    target: Option<&str>,
+) -> Result<Vec<(String, String)>, String> {
+    if suite_mode {
+        let picked: Vec<(String, String)> = suite::SUITE
+            .iter()
+            .filter(|p| target.is_none_or(|f| p.name == f))
+            .map(|p| (p.name.to_string(), p.source.to_string()))
+            .collect();
+        if picked.is_empty() {
+            return Err(format!(
+                "no suite program named {:?}",
+                target.unwrap_or("")
+            ));
+        }
+        Ok(picked)
+    } else {
+        let Some(path) = target else {
+            return Err("check/explain need a source file or --suite".to_string());
+        };
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Ok(vec![(path.to_string(), src)])
+    }
+}
+
+/// `homc check`: re-establish verdicts from exported evidence, without the
+/// CEGAR/SMT search path. Every certificate is validated independently —
+/// proofs re-verified by arithmetic, the invariant re-closed, unsafe
+/// witnesses replayed through the interpreter. A full-suite sweep tolerates
+/// programs with no evidence on disk (an undecided run exports none); an
+/// explicitly named target must have evidence. Exit is non-zero on any
+/// failed (or quarantined) certificate.
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut evidence_dir: Option<String> = None;
+    let mut suite_mode = false;
+    let mut target: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--evidence-dir" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("homc: --evidence-dir needs a path");
+                    return usage();
+                };
+                evidence_dir = Some(v.clone());
+                i += 2;
+            }
+            "--suite" => {
+                suite_mode = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("homc: unknown check flag {flag}");
+                return usage();
+            }
+            other => {
+                if target.is_some() {
+                    eprintln!("homc: unexpected extra argument {other:?}");
+                    return usage();
+                }
+                target = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(dir) = evidence_dir else {
+        eprintln!("homc: check needs --evidence-dir <dir>");
+        return usage();
+    };
+    let targets = match resolve_targets(suite_mode, target.as_deref()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("homc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A full-suite sweep may legitimately skip evidence-less programs; an
+    // explicitly named target may not.
+    let explicit = !suite_mode || target.is_some();
+    let store = EvidenceStore::new(dir.as_str());
+    let (mut passed, mut failed, mut missing) = (0usize, 0usize, 0usize);
+    for (key, src) in &targets {
+        let t = Instant::now();
+        let line = match store.load(key) {
+            Err(e) => {
+                failed += 1;
+                format!("fail (evidence store: {e})")
+            }
+            Ok(load) if load.quarantined => {
+                failed += 1;
+                "fail (evidence quarantined: integrity violation)".to_string()
+            }
+            Ok(load) => match load.evidence {
+                None => {
+                    missing += 1;
+                    "no evidence".to_string()
+                }
+                Some(ev) => match check_evidence(src, &ev, &Metrics::disabled()) {
+                    Ok(rep) if rep.claimed == "safe" => {
+                        passed += 1;
+                        format!(
+                            "pass (safe: {} proof(s), {} typing(s){})",
+                            rep.proofs_verified,
+                            rep.invariant_typings,
+                            if rep.unproved > 0 {
+                                format!(", {} unproved", rep.unproved)
+                            } else {
+                                String::new()
+                            },
+                        )
+                    }
+                    Ok(_) => {
+                        passed += 1;
+                        "pass (unsafe: counterexample replays to fail)".to_string()
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        format!("fail ({e})")
+                    }
+                },
+            },
+        };
+        say(format_args!(
+            "{key:12} check={} -> {line}",
+            fmt_d(t.elapsed())
+        ));
+    }
+    say(format_args!(
+        "checked: {passed} pass, {failed} fail, {missing} missing"
+    ));
+    if failed > 0 || (missing > 0 && explicit) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `homc explain`: verify one program with evidence capture and render the
+/// human narrative — verdict and certificate summary, per-iteration
+/// predicate provenance, dead-predicate census, heaviest refuted queries.
+/// The narrative is a pure function of the evidence, so two runs of the
+/// same build render byte-identically (the tier-1 determinism smoke).
+fn cmd_explain(args: &[String]) -> ExitCode {
+    let mut evidence_dir: Option<String> = None;
+    let mut suite_mode = false;
+    let mut target: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            flag @ ("--evidence-dir" | "--trace-logical") => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("homc: {flag} needs a path");
+                    return usage();
+                };
+                if flag == "--evidence-dir" {
+                    evidence_dir = Some(v.clone());
+                } else {
+                    trace_out = Some(v.clone());
+                }
+                i += 2;
+            }
+            "--suite" => {
+                suite_mode = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("homc: unknown explain flag {flag}");
+                return usage();
+            }
+            other => {
+                if target.is_some() {
+                    eprintln!("homc: unexpected extra argument {other:?}");
+                    return usage();
+                }
+                target = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if suite_mode && target.is_none() {
+        eprintln!("homc: explain --suite needs one program name");
+        return usage();
+    }
+    let mut targets = match resolve_targets(suite_mode, target.as_deref()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("homc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (key, source) = targets.remove(0);
+    let tracer = match &trace_out {
+        None => Tracer::disabled(),
+        Some(path) => match Tracer::to_file(std::path::Path::new(path), true) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("homc: cannot open trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let opts = VerifierOptions {
+        tracer: tracer.clone(),
+        evidence: Some(EvidenceConfig {
+            dir: evidence_dir.map(Into::into),
+            key: key.clone(),
+            source_hash: stable_hash64(&source),
+        }),
+        ..VerifierOptions::default()
+    };
+    let out = match verify(&source, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("homc: {key}: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    tracer.flush();
+    match out.evidence {
+        Some(ev) => {
+            print!("{}", render_explain(&ev, out.stats.preds_dead));
+            let _ = std::io::stdout().flush();
+            ExitCode::SUCCESS
+        }
+        None => {
+            let v = match &out.verdict {
+                Verdict::Unknown { reason } => format!("unknown ({reason})"),
+                _ => "decisive but evidence-less".to_string(),
+            };
+            eprintln!("homc: explain: no evidence to narrate — verdict {v}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `homc batch`: the crash-safe fleet runner. Every job gets exactly one
 /// report line; the exit code reflects only *failed* (wrong-verdict) jobs.
 fn cmd_batch(args: &[String]) -> ExitCode {
@@ -878,6 +1156,14 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 opts.trace_dir = Some(std::path::PathBuf::from(v));
+                i += 2;
+            }
+            "--evidence-dir" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{}", need("--evidence-dir"));
+                    return usage();
+                };
+                opts.evidence_dir = Some(std::path::PathBuf::from(v));
                 i += 2;
             }
             "--logical" => {
@@ -1042,8 +1328,13 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             } else {
                 String::new()
             };
+            let evidence = match j.check {
+                Some(true) => "  evidence=ok",
+                Some(false) => "  evidence=FAIL",
+                None => "",
+            };
             say(format_args!(
-                "{:12} wall={} -> {}{}{}",
+                "{:12} wall={} -> {}{}{}{}",
                 j.name,
                 fmt_d(j.wall),
                 j.verdict,
@@ -1052,6 +1343,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                 } else {
                     ""
                 },
+                evidence,
                 retried,
             ));
         }
@@ -1089,14 +1381,19 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             .jobs
             .iter()
             .map(|j| {
-                ledger_record(
+                let mut r = ledger_record(
                     &j.name,
                     &j.verdict,
                     j.status == JobStatus::Passed,
                     j.wall.as_micros() as u64,
                     j.stats.as_ref(),
                     j.trace.as_deref(),
-                )
+                );
+                if let Some(ok) = j.check {
+                    r.counters
+                        .insert("evidence_check_pass".to_string(), u64::from(ok));
+                }
+                r
             })
             .collect();
         append_ledger(dir, "batch", records);
@@ -1146,6 +1443,12 @@ fn main() -> ExitCode {
         }
         "regress" => {
             return cmd_regress(&args[1..]);
+        }
+        "check" => {
+            return cmd_check(&args[1..]);
+        }
+        "explain" => {
+            return cmd_explain(&args[1..]);
         }
         _ => {}
     }
@@ -1245,6 +1548,11 @@ fn main() -> ExitCode {
                 dir: dir.into(),
                 key: p.name.to_string(),
             });
+            per.evidence = cli.evidence_dir.as_ref().map(|dir| EvidenceConfig {
+                dir: Some(dir.into()),
+                key: p.name.to_string(),
+                source_hash: stable_hash64(p.source),
+            });
             let report = run_one(p.name, p.source, Some(p.expected), &per, cli.stats);
             emit_settlement(&progress, i as u64, p.name, &report);
             match report.status {
@@ -1280,6 +1588,7 @@ fn main() -> ExitCode {
                 totals.reverify_defs_skipped += s.reverify_defs_skipped;
                 totals.reverify_preds_seeded += s.reverify_preds_seeded;
                 totals.artifact_quarantine += s.artifact_quarantine;
+                totals.preds_dead += s.preds_dead;
             }
         }
         progress.emit("batch_end", |e| {
@@ -1313,12 +1622,13 @@ fn main() -> ExitCode {
         ));
         say(format_args!(
             "incremental abstraction: defs reused {}, rebuilt {}, implicants {}, \
-             queries saved {}, ctx truncated {}",
+             queries saved {}, ctx truncated {}, preds dead {}",
             totals.abs_defs_reused,
             totals.abs_defs_rebuilt,
             totals.abs_implicants,
             totals.abs_queries_saved,
             totals.abs_ctx_truncated,
+            totals.preds_dead,
         ));
         if cli.artifacts_dir.is_some() {
             say(format_args!(
@@ -1369,6 +1679,11 @@ fn main() -> ExitCode {
         opts.artifacts = cli.artifacts_dir.as_ref().map(|dir| ArtifactConfig {
             dir: dir.into(),
             key: path.clone(),
+        });
+        opts.evidence = cli.evidence_dir.as_ref().map(|dir| EvidenceConfig {
+            dir: Some(dir.into()),
+            key: path.clone(),
+            source_hash: stable_hash64(&src),
         });
         let t = Instant::now();
         let report = run_one(&path, &src, None, &opts, cli.stats);

@@ -219,6 +219,8 @@ pub fn stats_counters(stats: &VerifyStats) -> BTreeMap<String, u64> {
     put("abs_implicants", stats.abs_implicants as u64);
     put("abs_queries_saved", stats.abs_queries_saved as u64);
     put("abs_ctx_truncated", stats.abs_ctx_truncated as u64);
+    put("preds_dead", stats.preds_dead);
+    put("evidence_digest", stats.evidence_digest);
     m
 }
 

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod evcheck;
 pub mod fleet;
 pub mod suite;
 pub mod verifier;
@@ -70,9 +71,14 @@ pub use homc_trace::{
     parse_json, render_report, stable_hash64, validate_line, validate_trace, JsonValue,
     SchemaError, Tracer,
 };
+pub use evcheck::{check_evidence, render_explain, EvidenceCheck};
 pub use suite::{Expected, SuiteProgram, SUITE};
 pub use homc_serve::{Artifact, ArtifactLoad, ArtifactStore};
+pub use homc_serve::{
+    parse_evidence_bytes, Evidence, EvidenceLoad, EvidenceStore, EvidenceVerdict,
+    ProvenanceRecord, SafeEvidence,
+};
 pub use verifier::{
-    verify, verify_compiled, ArtifactConfig, UnknownReason, Verdict, VerifierOptions, VerifyError,
-    VerifyOutcome, VerifyStats,
+    verify, verify_compiled, ArtifactConfig, EvidenceConfig, UnknownReason, Verdict,
+    VerifierOptions, VerifyError, VerifyOutcome, VerifyStats,
 };

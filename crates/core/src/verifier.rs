@@ -22,7 +22,8 @@
 //! (search steps, table size, trace fuel — not the deadline) stopped the
 //! run, the loop restarts once with limits scaled ×4 before giving up.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
@@ -30,23 +31,28 @@ use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
 use homc_abs::{
-    abstract_program_incremental, abstract_program_metered, AbsEnv, AbsError, AbsOptions, AbsTy,
-    TransitionMemo,
+    abstract_program_incremental, abstract_program_metered, abstract_program_with_oracle, AbsEnv,
+    AbsError, AbsOptions, AbsTy, TransitionMemo,
 };
 use homc_cegar::{
     build_trace_budgeted, refine_env_traced, seed_env, Feasibility, RefineError, RefineOptions,
     TraceEnd, TraceError,
 };
 use homc_hbp::check::{CheckError, CheckLimits, Checker};
-use homc_hbp::{find_error_path, source_labels};
+use homc_hbp::{find_error_path, source_labels, BProgram, Bits, FunName, Typing};
 use homc_lang::eval::Label;
 use homc_lang::manifest::Manifest;
 use homc_lang::{frontend, Compiled};
 use homc_metrics::{mem, Counter, Hist, Metrics};
-use homc_serve::{Artifact, ArtifactStore};
-use homc_smt::{
-    Budget, BudgetError, CancelToken, FaultPlan, LimitKind, Phase, QueryCache, SmtSolver,
+use homc_serve::{
+    Artifact, ArtifactStore, Evidence, EvidenceStore, EvidenceVerdict, ProvenanceRecord,
+    SafeEvidence,
 };
+use homc_smt::{
+    prove_unsat, Budget, BudgetError, CancelToken, FaultPlan, LimitKind, Phase, QueryCache,
+    SmtSolver, UnsatProof,
+};
+use homc_smt::{Formula, Var};
 use homc_trace::Tracer;
 
 /// Where the verifier persists and looks up cross-run abstraction
@@ -59,6 +65,23 @@ pub struct ArtifactConfig {
     /// entry name, not its content. Resubmitting an *edited* program under
     /// the same key is exactly what enables the diff-and-seed path.
     pub key: String,
+}
+
+/// Where (and for which program identity) the verifier exports verdict
+/// evidence — the certificates `homc check` re-validates and `homc explain`
+/// narrates.
+#[derive(Clone, Debug)]
+pub struct EvidenceConfig {
+    /// Directory of the evidence store. `None` builds the evidence in
+    /// memory only (it is still returned on [`VerifyOutcome::evidence`],
+    /// which is all `homc explain` needs).
+    pub dir: Option<PathBuf>,
+    /// Program identity stamped into the evidence header and used as the
+    /// store key (file path or suite entry name).
+    pub key: String,
+    /// FNV-1a hash of the source text, pinning the evidence to the exact
+    /// program content it certifies.
+    pub source_hash: u64,
 }
 
 /// Options controlling the verifier.
@@ -128,6 +151,17 @@ pub struct VerifierOptions {
     /// re-verification without being able to change a verdict. `None` — the
     /// default — runs cold.
     pub artifacts: Option<ArtifactConfig>,
+    /// Verdict-evidence export: when set, a decisive verdict additionally
+    /// produces an [`Evidence`] certificate — for Safe, the final predicate
+    /// environment, the saturated invariant, and refutation proofs for the
+    /// UNSAT abstraction queries it depends on (gathered by a post-verdict
+    /// replay pass); for Unsafe, the concrete witness and path. The
+    /// evidence is returned on the outcome and, when
+    /// [`EvidenceConfig::dir`] is set, published to the evidence store.
+    /// Producing evidence re-poses abstraction queries against the warm
+    /// query cache; it never changes the verdict. `None` — the default —
+    /// exports nothing.
+    pub evidence: Option<EvidenceConfig>,
 }
 
 impl Default for VerifierOptions {
@@ -149,6 +183,7 @@ impl Default for VerifierOptions {
             progress: Tracer::disabled(),
             job: 0,
             artifacts: None,
+            evidence: None,
         }
     }
 }
@@ -317,6 +352,14 @@ pub struct VerifyStats {
     /// Artifact files rejected by integrity checks and quarantined while
     /// loading (at most 1 per run).
     pub artifact_quarantine: u64,
+    /// Predicate components of the final environment that the final
+    /// boolean program never projects — installed but unread ("dead").
+    /// Conservative: components in higher-order positions always count as
+    /// live (their reads are indirect through closure wrappers).
+    pub preds_dead: u64,
+    /// FNV-1a digest of the evidence this run exported (0 when evidence
+    /// was not requested or the verdict was not decisive).
+    pub evidence_digest: u64,
 }
 
 /// The result of a verification run.
@@ -330,6 +373,10 @@ pub struct VerifyOutcome {
     pub size: usize,
     /// The paper's order metric O.
     pub order: usize,
+    /// The verdict evidence, when [`VerifierOptions::evidence`] was set and
+    /// the verdict was decisive (`None` otherwise — `Unknown` has nothing
+    /// to certify).
+    pub evidence: Option<Evidence>,
 }
 
 /// A hard error (malformed input, internal invariant failure).
@@ -438,6 +485,49 @@ struct IterRecord {
     reverify_preds_seeded: usize,
     /// Artifact files quarantined while loading (iteration 0 only).
     artifact_quarantine: u64,
+    /// Dead predicate components of this iteration's abstraction (installed
+    /// in the environment, never projected by the boolean program).
+    preds_dead: u64,
+}
+
+/// The model checker's final state at a Safe verdict — the pieces the
+/// evidence layer serializes as the abstract reachability invariant.
+struct SafeInvariant {
+    gamma: Vec<(FunName, BTreeSet<Typing>)>,
+    base_flow: BTreeMap<(FunName, usize), BTreeSet<Bits>>,
+}
+
+/// Counts scheme and `rand_int`-site predicate components of `env` whose
+/// tuple slot no definition of `bp` ever `Proj`ects. The used-set is the
+/// union over all definitions (wrapper definitions read captured variables
+/// on the original names), so a shared parameter name can only make a dead
+/// predicate look live — never the reverse. Components under higher-order
+/// positions are skipped (counted live): their reads are indirect.
+fn dead_predicates(env: &AbsEnv, bp: &BProgram) -> u64 {
+    let mut used: BTreeSet<(Var, usize)> = BTreeSet::new();
+    for projs in bp.projections().into_values() {
+        used.extend(projs);
+    }
+    let mut dead = 0u64;
+    for scheme in env.schemes.values() {
+        for (x, ty) in scheme {
+            if let AbsTy::Base(_, ps) = ty {
+                for i in 0..ps.len() {
+                    if !used.contains(&(x.clone(), i)) {
+                        dead += 1;
+                    }
+                }
+            }
+        }
+    }
+    for (x, ps) in &env.rand_sites {
+        for i in 0..ps.len() {
+            if !used.contains(&(x.clone(), i)) {
+                dead += 1;
+            }
+        }
+    }
+    dead
 }
 
 /// Predicate count of one abstraction type (recursing into arrow chains).
@@ -633,6 +723,12 @@ pub fn verify_compiled(
             stats.reverify_preds_seeded as u64,
         );
     }
+    // Evidence accumulators, filled where the facts are produced: predicate
+    // provenance as refinement installs predicates, and — at a Safe verdict
+    // — the model checker's saturated invariant. The export pass after the
+    // loop is then pure assembly plus the proof-recording replay.
+    let mut provenance: Vec<ProvenanceRecord> = Vec::new();
+    let mut safe_inv: Option<SafeInvariant> = None;
     let mut verdict;
 
     'attempts: loop {
@@ -677,6 +773,8 @@ pub fn verify_compiled(
                     &tracer,
                     &mut rec,
                     &mut memo,
+                    &mut provenance,
+                    &mut safe_inv,
                 )
             });
             metrics.observe_dur(Hist::IterUs, iter_start);
@@ -732,6 +830,11 @@ pub fn verify_compiled(
                     }
                     if rec.abs_ctx_truncated > 0 {
                         e.num("abs_ctx_truncated", rec.abs_ctx_truncated as u64);
+                    }
+                    // Dead-predicate census, same nonzero-only policy (it
+                    // postdates the golden traces).
+                    if rec.preds_dead > 0 {
+                        e.num("preds_dead", rec.preds_dead);
                     }
                     // Cross-run seeding counters (first iteration only),
                     // same nonzero-only policy: cold runs and artifact-free
@@ -790,6 +893,81 @@ pub fn verify_compiled(
         }
     }
 
+    // Verdict-evidence export. For Safe, re-derive the boolean program from
+    // the winning environment under a *recording* oracle: every UNSAT
+    // answer gets a self-contained DNF refutation proof, deduplicated by
+    // canonical formula. The replay solver shares the run's query cache —
+    // so this is mostly cache hits — but carries no budget: a deadline
+    // expiring just after the verdict must not be able to truncate the
+    // proof table. Evidence can fail to materialize; it can never change
+    // the verdict.
+    let mut evidence: Option<Evidence> = None;
+    if let Some(cfg) = &opts.evidence {
+        let ev_verdict = match &verdict {
+            Verdict::Safe => safe_inv.take().and_then(|inv| {
+                // Fresh unlimited budget: the cache demands a checkpoint
+                // before every guarded lookup, and the run's own budget
+                // must not be able to truncate the proof table.
+                let ebudget = Arc::new(Budget::new(None, None, FaultPlan::none()));
+                let esolver = SmtSolver::with_budget(ebudget).with_cache(cache.clone());
+                let proofs: RefCell<BTreeMap<Formula, Option<UnsatProof>>> =
+                    RefCell::new(BTreeMap::new());
+                let record = |f: &Formula| -> Result<bool, AbsError> {
+                    let sat = esolver.maybe_sat(f);
+                    if !sat {
+                        let canon = f.canon();
+                        proofs
+                            .borrow_mut()
+                            .entry(canon.clone())
+                            .or_insert_with(|| prove_unsat(&canon));
+                    }
+                    Ok(sat)
+                };
+                abstract_program_with_oracle(&compiled.cps, &env, &abs_opts, &record).ok()?;
+                let mut proved = Vec::new();
+                let mut unproved = 0u64;
+                for (f, proof) in proofs.into_inner() {
+                    match proof {
+                        Some(p) => proved.push((f, p)),
+                        None => unproved += 1,
+                    }
+                }
+                Some(EvidenceVerdict::Safe(Box::new(SafeEvidence {
+                    env: env.clone(),
+                    gamma: inv.gamma,
+                    base_flow: inv.base_flow,
+                    proofs: proved,
+                    unproved,
+                })))
+            }),
+            Verdict::Unsafe { witness, path } => Some(EvidenceVerdict::Unsafe {
+                witness: witness.clone(),
+                path: path.clone(),
+            }),
+            Verdict::Unknown { .. } => None,
+        };
+        if let Some(ev_verdict) = ev_verdict {
+            let ev = Evidence {
+                program: cfg.key.clone(),
+                source_hash: cfg.source_hash,
+                iterations: stats.cycles as u64,
+                provenance: std::mem::take(&mut provenance),
+                verdict: ev_verdict,
+            };
+            stats.evidence_digest = ev.digest();
+            metrics.incr(Counter::EvidenceEmitted);
+            if let Some(dir) = &cfg.dir {
+                // Publish failures are non-fatal: the evidence still rides
+                // on the outcome, and the verdict stands either way.
+                let estore = EvidenceStore::new(dir).with_metrics(metrics.clone());
+                let _ = estore.publish(&cfg.key, &ev);
+            }
+            evidence = Some(ev);
+        }
+    }
+    if stats.preds_dead > 0 {
+        metrics.add(Counter::PredsDead, stats.preds_dead);
+    }
     stats.total = start.elapsed();
     stats.predicates = env.fingerprint();
     stats.peak_bytes = mem::peak_bytes();
@@ -838,6 +1016,7 @@ pub fn verify_compiled(
         stats,
         size: compiled.size,
         order: compiled.order,
+        evidence,
     })
 }
 
@@ -860,6 +1039,8 @@ fn run_iteration(
     tracer: &Tracer,
     rec: &mut IterRecord,
     memo: &mut TransitionMemo,
+    prov: &mut Vec<ProvenanceRecord>,
+    safe_inv: &mut Option<SafeInvariant>,
 ) -> IterOutcome {
     let unknown = |reason: UnknownReason| IterOutcome::Done(Verdict::Unknown { reason });
     let span = |phase: &str, started: Instant| {
@@ -935,11 +1116,20 @@ fn run_iteration(
     stats.final_hbp_size = bp.size();
     rec.hbp_rules = bp.defs.len();
     rec.hbp_terms = bp.size();
+    // Dead-predicate census for this iteration's abstraction; the run-level
+    // stat keeps the *final* iteration's value (the census of the winning
+    // environment against the winning boolean program).
+    rec.preds_dead = dead_predicates(env, &bp);
+    stats.preds_dead = rec.preds_dead;
 
     // Step 2: higher-order model checking.
     pstart("mc");
     let t = Instant::now();
     let mem_tag = mem::phase_scope(Phase::Mc);
+    // On a Safe exit the checker itself survives the closure (via the
+    // slot): its saturated typing table and base-flow facts are the
+    // abstract reachability invariant the evidence layer serializes.
+    let mut safe_checker = None;
     let mc = (|| {
         let mut checker = Checker::with_budget(&bp, check_limits, budget)?;
         checker.set_tracer(tracer.clone());
@@ -953,15 +1143,32 @@ fn run_iteration(
         rec.rescans = cs.rescans_avoided;
         saturated?;
         if !checker.may_fail() {
+            safe_checker = Some(checker);
             return Ok(None);
         }
-        find_error_path(&mut checker)
+        let found = find_error_path(&mut checker);
+        if matches!(found, Ok(None)) {
+            safe_checker = Some(checker);
+        }
+        found
     })();
     drop(mem_tag);
     stats.mc += t.elapsed();
     span("mc", t);
     let path = match mc {
-        Ok(None) => return IterOutcome::Done(Verdict::Safe),
+        Ok(None) => {
+            if let (Some(checker), true) = (&safe_checker, opts.evidence.is_some()) {
+                *safe_inv = Some(SafeInvariant {
+                    gamma: checker
+                        .gamma()
+                        .iter()
+                        .map(|(f, ts)| (f.clone(), ts.clone()))
+                        .collect(),
+                    base_flow: checker.base_flow().clone(),
+                });
+            }
+            return IterOutcome::Done(Verdict::Safe);
+        }
         Ok(Some(p)) => p,
         Err(CheckError::Budget(e)) => return unknown(UnknownReason::Budget(e)),
         Err(e) => return unknown(UnknownReason::InternalFault(format!("model checking: {e}"))),
@@ -1035,6 +1242,17 @@ fn run_iteration(
         Ok((Feasibility::Unknown, _, _)) => unknown(UnknownReason::Inconclusive),
         Ok((Feasibility::Exhausted(e), _, _)) => unknown(UnknownReason::Budget(e)),
         Ok((Feasibility::Infeasible, changed, refinement)) => {
+            // Provenance is worth keeping only when evidence is requested;
+            // the records are strings, so skip the copies otherwise.
+            if opts.evidence.is_some() {
+                prov.extend(refinement.provenance.iter().map(|p| ProvenanceRecord {
+                    iteration: (iteration + 1) as u64,
+                    target: p.target.clone(),
+                    cut: p.cut as u64,
+                    source: p.source.as_str().to_string(),
+                    pred: p.pred.clone(),
+                }));
+            }
             rec.new_interp = refinement.interpolated;
             rec.new_seeded = refinement.seeded;
             rec.new_ho = refinement.ho_updates.len();

@@ -1,0 +1,120 @@
+//! Corruption drill for the evidence layer: every mutation of a genuine
+//! certificate — a dropped predicate, a gutted refutation certificate, or
+//! a byte-level truncation of the on-disk file — must be rejected by the
+//! parser or the independent checker, never silently accepted.
+
+use homc::{
+    check_evidence, parse_evidence_bytes, stable_hash64, verify, EvidenceConfig, EvidenceStore,
+    EvidenceVerdict, Metrics, Verdict, VerifierOptions,
+};
+use homc_abs::AbsTy;
+use homc_smt::{ArithRefutation, CubeProof};
+
+const SAFE: &str = "let f x g = g (x + 1) in
+                    let h y = assert (y > 0) in
+                    let k n = if n > 0 then f n h else () in
+                    k m";
+const UNSAFE: &str = "assert (n > 0)";
+
+fn evidence_for(src: &str, dir: Option<&std::path::Path>, key: &str) -> homc::Evidence {
+    let opts = VerifierOptions {
+        evidence: Some(EvidenceConfig {
+            dir: dir.map(Into::into),
+            key: key.to_string(),
+            source_hash: stable_hash64(src),
+        }),
+        ..VerifierOptions::default()
+    };
+    let out = verify(src, &opts).expect("runs");
+    assert!(!matches!(out.verdict, Verdict::Unknown { .. }));
+    out.evidence.expect("decisive run exports evidence")
+}
+
+/// Removes one predicate from the first non-empty predicate list in `t`.
+fn drop_first_pred(t: &mut AbsTy) -> bool {
+    match t {
+        AbsTy::Base(_, preds) => {
+            if preds.is_empty() {
+                false
+            } else {
+                preds.pop();
+                true
+            }
+        }
+        AbsTy::Fun(_, a, b) => drop_first_pred(a) || drop_first_pred(b),
+    }
+}
+
+#[test]
+fn dropped_predicate_is_rejected() {
+    let mut ev = evidence_for(SAFE, None, "drill-safe");
+    let EvidenceVerdict::Safe(se) = &mut ev.verdict else {
+        panic!("safe evidence expected");
+    };
+    let mut dropped = false;
+    'outer: for scheme in se.env.schemes.values_mut() {
+        for (_, ty) in scheme.iter_mut() {
+            if drop_first_pred(ty) {
+                dropped = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(dropped, "a refined safe run must carry predicates");
+    let m = Metrics::disabled();
+    let err = check_evidence(SAFE, &ev, &m).expect_err("weakened environment must not certify");
+    assert!(err.contains("not closed") || err.contains("failing typing"), "{err}");
+}
+
+#[test]
+fn gutted_farkas_certificate_is_rejected() {
+    let mut ev = evidence_for(SAFE, None, "drill-safe");
+    let EvidenceVerdict::Safe(se) = &mut ev.verdict else {
+        panic!("safe evidence expected");
+    };
+    let proof = se
+        .proofs
+        .iter_mut()
+        .map(|(_, p)| p)
+        .find(|p| !p.cubes.is_empty())
+        .expect("a refined safe run must carry refutation proofs");
+    // An empty Farkas sum refutes nothing: `verify_unsat` can never accept
+    // it, so the rejection is deterministic regardless of the cube's shape.
+    proof.cubes[0] = CubeProof::Arith(ArithRefutation::Farkas(vec![]));
+    let m = Metrics::disabled();
+    let err = check_evidence(SAFE, &ev, &m).expect_err("tampered certificate must not verify");
+    assert!(err.contains("does not verify"), "{err}");
+}
+
+#[test]
+fn truncated_unsafe_file_never_passes() {
+    let dir = std::env::temp_dir().join(format!("homc-evd-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = "drill-unsafe";
+    let _ = evidence_for(UNSAFE, Some(&dir), key);
+    let store = EvidenceStore::new(&dir);
+    let bytes = std::fs::read(store.path_for(key)).expect("evidence file exists");
+    assert!(bytes.len() > 1);
+    // The intact file round-trips and checks out.
+    let whole = parse_evidence_bytes(&bytes).expect("intact file parses");
+    check_evidence(UNSAFE, &whole, &Metrics::disabled()).expect("intact file validates");
+    // Every proper prefix must fail the parse (mid-frame cuts break the
+    // checksum, clean frame-boundary cuts leave the record set incomplete)
+    // or, failing that, be rejected by the checker.
+    for len in 0..bytes.len() - 1 {
+        match parse_evidence_bytes(&bytes[..len]) {
+            None => {}
+            Some(ev) => {
+                check_evidence(UNSAFE, &ev, &Metrics::disabled())
+                    .expect_err(&format!("prefix of {len} byte(s) must not certify"));
+            }
+        }
+    }
+    // The store-level drill: a truncated file on disk is quarantined, not
+    // returned, so a rerun re-verifies instead of trusting damaged bytes.
+    std::fs::write(store.path_for(key), &bytes[..bytes.len() / 2]).expect("write truncated");
+    let load = store.load(key).expect("load runs");
+    assert!(load.evidence.is_none());
+    assert!(load.quarantined, "truncated evidence must be quarantined");
+    let _ = std::fs::remove_dir_all(&dir);
+}

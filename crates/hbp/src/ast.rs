@@ -10,7 +10,7 @@
 //! abstraction of CPS-normal kernels: every `let` right-hand side is
 //! call-free, every call is in tail position, and every body returns `unit`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 pub use homc_lang::eval::Label;
@@ -146,6 +146,22 @@ impl BoolExpr {
             BoolExpr::Not(e) => !e.eval(env),
             BoolExpr::And(es) => es.iter().all(|e| e.eval(env)),
             BoolExpr::Or(es) => es.iter().any(|e| e.eval(env)),
+        }
+    }
+
+    /// Collects every `πᵢ x` projection into `out`.
+    pub fn projections(&self, out: &mut BTreeSet<(Var, usize)>) {
+        match self {
+            BoolExpr::Const(_) => {}
+            BoolExpr::Proj(x, i) => {
+                out.insert((x.clone(), *i));
+            }
+            BoolExpr::Not(e) => e.projections(out),
+            BoolExpr::And(es) | BoolExpr::Or(es) => {
+                for e in es {
+                    e.projections(out);
+                }
+            }
         }
     }
 
@@ -362,6 +378,62 @@ impl BProgram {
     /// Looks up a definition.
     pub fn def(&self, name: &FunName) -> Option<&BDef> {
         self.defs.iter().find(|d| &d.name == name)
+    }
+
+    /// The tuple components each definition's body actually inspects: every
+    /// `πᵢ x` projection, keyed by definition name. Predicate-abstraction
+    /// tuples carry one component per predicate, so a scheme component never
+    /// projected anywhere is dead weight of the proof — this is the raw
+    /// input of the verifier's `preds_dead` statistic.
+    pub fn projections(&self) -> BTreeMap<FunName, BTreeSet<(Var, usize)>> {
+        fn walk_val(v: &BVal, out: &mut BTreeSet<(Var, usize)>) {
+            match v {
+                BVal::Tuple(es) => {
+                    for e in es {
+                        e.projections(out);
+                    }
+                }
+                BVal::Var(_) | BVal::Fun(_) => {}
+                BVal::PApp(h, args) => {
+                    walk_val(h, out);
+                    for a in args {
+                        walk_val(a, out);
+                    }
+                }
+            }
+        }
+        fn walk(e: &BExpr, out: &mut BTreeSet<(Var, usize)>) {
+            match e {
+                BExpr::Value(v) => walk_val(v, out),
+                BExpr::Call(h, args) => {
+                    walk_val(h, out);
+                    for a in args {
+                        walk_val(a, out);
+                    }
+                }
+                BExpr::Let(_, rhs, body) => {
+                    walk(rhs, out);
+                    walk(body, out);
+                }
+                BExpr::SChoice(l, r) | BExpr::AChoice(l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+                BExpr::Assume(c, e) => {
+                    c.projections(out);
+                    walk(e, out);
+                }
+                BExpr::Fail => {}
+            }
+        }
+        self.defs
+            .iter()
+            .map(|d| {
+                let mut out = BTreeSet::new();
+                walk(&d.body, &mut out);
+                (d.name.clone(), out)
+            })
+            .collect()
     }
 
     /// Total AST size (for statistics).

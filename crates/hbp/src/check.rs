@@ -70,6 +70,19 @@ impl Gamma {
         self.map.entry(f.clone()).or_default().insert(t)
     }
 
+    /// All `(function, typing set)` entries, in name order (the evidence
+    /// layer serializes the table through this).
+    pub fn iter(&self) -> impl Iterator<Item = (&FunName, &BTreeSet<Typing>)> {
+        self.map.iter()
+    }
+
+    /// Rebuilds a table from decoded entries (the evidence checker's seed).
+    pub fn from_entries(entries: impl IntoIterator<Item = (FunName, BTreeSet<Typing>)>) -> Gamma {
+        Gamma {
+            map: entries.into_iter().filter(|(_, ts)| !ts.is_empty()).collect(),
+        }
+    }
+
     /// Total number of typings (for statistics).
     pub fn len(&self) -> usize {
         self.map.values().map(BTreeSet::len).sum()
@@ -422,6 +435,48 @@ impl<'p> Checker<'p> {
     /// `true` iff `main ⇒* fail` (valid after saturation).
     pub fn may_fail(&self) -> bool {
         self.gamma.of(&self.program.main).any(|t| t.is_empty())
+    }
+
+    /// The demand-driven base-value flows (meaningful after
+    /// [`Checker::saturate`]) — serialized into safety evidence alongside
+    /// the typing table.
+    pub fn base_flow(&self) -> &BTreeMap<(FunName, usize), BTreeSet<Bits>> {
+        &self.base_flow
+    }
+
+    /// Replaces the empty initial state with a *claimed* invariant — a
+    /// typing table and base-flow facts decoded from evidence — so
+    /// [`Checker::check_closed`] can validate it without re-running
+    /// saturation.
+    pub fn seed_invariant(
+        &mut self,
+        gamma: Gamma,
+        base_flow: BTreeMap<(FunName, usize), BTreeSet<Bits>>,
+    ) {
+        self.gamma = gamma;
+        self.base_flow = base_flow;
+        self.dirty.clear();
+    }
+
+    /// One derivation sweep over every definition against the seeded state.
+    /// Returns `true` iff the sweep derived nothing new — the seeded
+    /// `(gamma, base_flow)` pair is closed under the (monotone) derivation
+    /// operator, hence a superset of the saturation fixpoint. Combined with
+    /// [`Checker::may_fail`] being false this is a complete safety
+    /// certificate for the program: verification by one bounded pass, no
+    /// fixpoint search.
+    pub fn check_closed(&mut self) -> Result<bool, CheckError> {
+        let program = self.program;
+        let before = (self.gamma.len(), self.flow_size());
+        for d in &program.defs {
+            self.search_def(d)?;
+        }
+        Ok((self.gamma.len(), self.flow_size()) == before)
+    }
+
+    /// Total number of base-flow facts.
+    fn flow_size(&self) -> usize {
+        self.base_flow.values().map(BTreeSet::len).sum()
     }
 
     /// Enumerates assignments of concrete tuples to the base parameters,
@@ -1022,6 +1077,74 @@ mod tests {
             main: "main".into(),
         };
         assert!(!check(&p));
+    }
+
+    #[test]
+    fn saturated_state_is_closed_and_tampering_is_caught() {
+        // h b = assume b.0; fail.   main = h <false> — safe.
+        let p = BProgram {
+            defs: vec![
+                BDef {
+                    name: "h".into(),
+                    params: vec![(v("b"), BTy::Tuple(1))],
+                    body: BExpr::assume(BoolExpr::Proj(v("b"), 0), BExpr::Fail),
+                },
+                BDef {
+                    name: "main".into(),
+                    params: vec![],
+                    body: BExpr::Call(
+                        BVal::Fun("h".into()),
+                        vec![BVal::Tuple(vec![BoolExpr::Const(false)])],
+                    ),
+                },
+            ],
+            main: "main".into(),
+        };
+        let mut c = Checker::new(&p, CheckLimits::default()).expect("well-formed");
+        c.saturate().expect("in budget");
+        assert!(!c.may_fail());
+        let gamma = c.gamma().clone();
+        let flow = c.base_flow().clone();
+
+        // Re-seeding the fixpoint into a fresh checker must be closed.
+        let mut fresh = Checker::new(&p, CheckLimits::default()).expect("well-formed");
+        fresh.seed_invariant(gamma.clone(), flow.clone());
+        assert!(fresh.check_closed().expect("in budget"));
+        assert!(!fresh.may_fail());
+
+        // Dropping a base-flow fact breaks closedness: the sweep rediscovers
+        // it, so the state grows and the claim is rejected.
+        let mut pruned = flow.clone();
+        pruned.clear();
+        let mut fresh = Checker::new(&p, CheckLimits::default()).expect("well-formed");
+        fresh.seed_invariant(gamma, pruned);
+        assert!(!fresh.check_closed().expect("in budget"));
+    }
+
+    #[test]
+    fn projections_collects_per_def() {
+        let p = BProgram {
+            defs: vec![
+                BDef {
+                    name: "h".into(),
+                    params: vec![(v("b"), BTy::Tuple(2))],
+                    body: BExpr::assume(BoolExpr::Proj(v("b"), 1), BExpr::Fail),
+                },
+                BDef {
+                    name: "main".into(),
+                    params: vec![],
+                    body: BExpr::Call(
+                        BVal::Fun("h".into()),
+                        vec![BVal::Tuple(vec![BoolExpr::TRUE, BoolExpr::FALSE])],
+                    ),
+                },
+            ],
+            main: "main".into(),
+        };
+        let proj = p.projections();
+        assert!(proj[&FunName::from("h")].contains(&(v("b"), 1)));
+        assert!(!proj[&FunName::from("h")].contains(&(v("b"), 0)));
+        assert!(proj[&FunName::from("main")].is_empty());
     }
 
     #[test]

@@ -84,10 +84,20 @@ pub enum Counter {
     /// Artifact-store files rejected by an integrity check and quarantined
     /// (the run degrades to the cold path).
     ArtifactQuarantine,
+    /// Verdict-evidence files emitted (one per decisive run with an
+    /// evidence directory configured).
+    EvidenceEmitted,
+    /// Independent evidence checks that validated their verdict.
+    CheckPass,
+    /// Independent evidence checks that rejected their evidence.
+    CheckFail,
+    /// Predicate-scheme components of the final environment never projected
+    /// by the final boolean program (dead predicates).
+    PredsDead,
 }
 
 /// All counters, in display order.
-pub const COUNTERS: [Counter; 18] = [
+pub const COUNTERS: [Counter; 22] = [
     Counter::SmtSolves,
     Counter::InterpCuts,
     Counter::McRounds,
@@ -106,6 +116,10 @@ pub const COUNTERS: [Counter; 18] = [
     Counter::ReverifyDefsSkipped,
     Counter::ReverifyPredsSeeded,
     Counter::ArtifactQuarantine,
+    Counter::EvidenceEmitted,
+    Counter::CheckPass,
+    Counter::CheckFail,
+    Counter::PredsDead,
 ];
 
 impl Counter {
@@ -134,6 +148,10 @@ impl Counter {
             Counter::ReverifyDefsSkipped => "reverify_defs_skipped",
             Counter::ReverifyPredsSeeded => "reverify_preds_seeded",
             Counter::ArtifactQuarantine => "artifact_quarantine",
+            Counter::EvidenceEmitted => "evidence_emitted",
+            Counter::CheckPass => "check_pass",
+            Counter::CheckFail => "check_fail",
+            Counter::PredsDead => "preds_dead",
         }
     }
 
@@ -158,6 +176,10 @@ impl Counter {
             Counter::ReverifyDefsSkipped => "Definitions replayed from a prior run's persisted artifact",
             Counter::ReverifyPredsSeeded => "Predicates seeded from a prior run's winning environment",
             Counter::ArtifactQuarantine => "Artifact-store files rejected by integrity checks and quarantined",
+            Counter::EvidenceEmitted => "Verdict-evidence files emitted",
+            Counter::CheckPass => "Independent evidence checks that validated their verdict",
+            Counter::CheckFail => "Independent evidence checks that rejected their evidence",
+            Counter::PredsDead => "Final-environment predicate components never projected by the final boolean program",
         }
     }
 }

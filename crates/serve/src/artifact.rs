@@ -210,17 +210,17 @@ enum ParseOutcome {
 
 // ---------------------------------------------------------------- encoding
 
-fn put_funname(out: &mut String, f: &FunName) {
+pub(crate) fn put_funname(out: &mut String, f: &FunName) {
     out.push_str(&f.0.len().to_string());
     out.push(':');
     out.push_str(&f.0);
 }
 
-fn put_u64(out: &mut String, n: u64) {
+pub(crate) fn put_u64(out: &mut String, n: u64) {
     out.push_str(&n.to_string());
 }
 
-fn put_usize(out: &mut String, n: usize) {
+pub(crate) fn put_usize(out: &mut String, n: usize) {
     out.push_str(&n.to_string());
 }
 
@@ -238,13 +238,13 @@ fn put_simplety(out: &mut String, t: &SimpleTy) {
     }
 }
 
-fn put_predicate(out: &mut String, p: &Predicate) {
+pub(crate) fn put_predicate(out: &mut String, p: &Predicate) {
     put_var(out, p.nu());
     out.push(' ');
     put_formula(out, p.body());
 }
 
-fn put_absty(out: &mut String, t: &AbsTy) {
+pub(crate) fn put_absty(out: &mut String, t: &AbsTy) {
     match t {
         AbsTy::Base(st, preds) => {
             out.push_str("B ");
@@ -511,11 +511,11 @@ fn encode_artifact(a: &Artifact) -> Vec<String> {
 
 // ---------------------------------------------------------------- decoding
 
-fn get_funname(c: &mut Cur<'_>) -> Result<FunName, CodecError> {
+pub(crate) fn get_funname(c: &mut Cur<'_>) -> Result<FunName, CodecError> {
     Ok(FunName(c.var()?.name().to_string()))
 }
 
-fn get_u64(c: &mut Cur<'_>) -> Result<u64, CodecError> {
+pub(crate) fn get_u64(c: &mut Cur<'_>) -> Result<u64, CodecError> {
     let n = c.int()?;
     u64::try_from(n).map_err(|_| c.err("u64 out of range"))
 }
@@ -536,14 +536,14 @@ fn get_simplety(c: &mut Cur<'_>) -> Result<SimpleTy, CodecError> {
     }
 }
 
-fn get_predicate(c: &mut Cur<'_>) -> Result<Predicate, CodecError> {
+pub(crate) fn get_predicate(c: &mut Cur<'_>) -> Result<Predicate, CodecError> {
     let nu = c.var()?;
     c.sep()?;
     let body = c.formula()?;
     Ok(Predicate::new(nu, body))
 }
 
-fn get_absty(c: &mut Cur<'_>) -> Result<AbsTy, CodecError> {
+pub(crate) fn get_absty(c: &mut Cur<'_>) -> Result<AbsTy, CodecError> {
     match c.tok()? {
         "B" => {
             c.sep()?;

@@ -1,0 +1,1027 @@
+//! The versioned on-disk **verdict-evidence store** — exportable
+//! certificates that let `homc check` re-establish a verdict without
+//! re-running the CEGAR/SMT search.
+//!
+//! Where an abstraction artifact ([`crate::artifact`]) is a *performance*
+//! device (everything in it is a candidate, re-validated by the next run),
+//! evidence is a *trust* device: it carries exactly the facts an independent
+//! checker needs, and nothing it contains is taken on faith —
+//!
+//! * **Safe** evidence holds the final predicate environment, the saturated
+//!   intersection-typing table and base-flow facts (the abstract
+//!   reachability invariant), and one self-contained DNF refutation proof
+//!   ([`homc_smt::UnsatProof`]) per UNSAT abstraction query the invariant
+//!   depends on. The checker re-verifies every proof with pure arithmetic,
+//!   re-derives the boolean program with the proof table as its only UNSAT
+//!   source, and checks the invariant is closed under one saturation sweep.
+//!   Queries *without* a proof are treated as satisfiable, which only
+//!   enlarges the abstraction — a corrupted or incomplete proof table can
+//!   cost a rejection, never certify an unsafe program.
+//! * **Unsafe** evidence holds the concrete witness (values for `main`'s
+//!   unknown integers) and the branch-label path; the checker replays them
+//!   through the reference interpreter and demands `fail`.
+//!
+//! Alongside the certificates, evidence records per-predicate
+//! **provenance** — which CEGAR iteration, trace cut, and discovery
+//! mechanism introduced each predicate — the raw material for
+//! `homc explain`.
+//!
+//! # File format
+//!
+//! One file per program key, `<slug>-<hash16>.evd`:
+//!
+//! ```text
+//! homc-evidence v1\n                       ← magic + schema version
+//! XXXXXXXX YYYYYYYYYYYYYYYY <payload>\n    ← one frame_line per record
+//! ```
+//!
+//! using the same FNV-checksummed framing, atomic tmp-file+`rename`
+//! publication, and whole-file quarantine discipline as the artifact store:
+//! *any* integrity violation renames the file to `<name>.quarantined` and
+//! bumps [`Counter::ArtifactQuarantine`]. The [`Evidence::digest`] recorded
+//! in run ledgers is the FNV-1a hash of the complete rendered file, so a
+//! ledger entry pins the exact certificate bytes it was checked against.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use homc_abs::AbsEnv;
+use homc_hbp::{ArgReq, ArrowTy, Bits, FunName, Typing};
+use homc_lang::eval::Label;
+use homc_metrics::{Counter, Metrics};
+use homc_smt::{ArithRefutation, CubeProof, Formula, Rat, UnsatProof};
+use homc_trace::stable_hash64;
+
+use crate::artifact::{
+    get_absty, get_funname, get_predicate, get_u64, put_absty, put_funname, put_predicate,
+    put_u64, put_usize,
+};
+use crate::codec::{put_formula, put_var, CodecError, Cur};
+use crate::disk::{frame_line, parse_frame};
+
+/// First bytes of every evidence file.
+pub const EVIDENCE_MAGIC: &str = "homc-evidence";
+/// Schema version of the record payloads; bump on any codec change.
+pub const EVIDENCE_VERSION: u32 = 1;
+
+/// The origin of one predicate, stamped with the CEGAR iteration that
+/// introduced it (serialized form of the refiner's provenance).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvenanceRecord {
+    /// The CEGAR iteration the predicate was discovered in (1-based).
+    pub iteration: u64,
+    /// The binding it was installed on (`f:x`, `f:g@k`, or `rand:site`).
+    pub target: String,
+    /// The trace cut index it was solved at.
+    pub cut: u64,
+    /// The discovery mechanism (`interp`, `seed`, or `gen_p`).
+    pub source: String,
+    /// The predicate rendered over the target's names.
+    pub pred: String,
+}
+
+/// The certificate half of Safe evidence.
+#[derive(Clone, Debug, Default)]
+pub struct SafeEvidence {
+    /// The final (winning) predicate environment.
+    pub env: AbsEnv,
+    /// The saturated typing table of the final boolean program.
+    pub gamma: Vec<(FunName, BTreeSet<Typing>)>,
+    /// The saturated base-flow facts of the final boolean program.
+    pub base_flow: BTreeMap<(FunName, usize), BTreeSet<Bits>>,
+    /// Refutation proofs for the UNSAT abstraction queries the boolean
+    /// program depends on, keyed by the canonical query formula.
+    pub proofs: Vec<(Formula, UnsatProof)>,
+    /// UNSAT answers the emitter failed to prove (the checker treats those
+    /// queries as satisfiable — sound coarsening, possibly a rejection).
+    pub unproved: u64,
+}
+
+/// The verdict-specific payload.
+#[derive(Clone, Debug)]
+pub enum EvidenceVerdict {
+    /// The program was verified safe; the invariant and its proofs.
+    Safe(Box<SafeEvidence>),
+    /// A concrete failure was found; the replayable counterexample.
+    Unsafe {
+        /// Values for `main`'s unknown integer parameters.
+        witness: Vec<i64>,
+        /// The branch labels of the failing run.
+        path: Vec<Label>,
+    },
+}
+
+/// Everything one verification run exports to back its verdict.
+#[derive(Clone, Debug)]
+pub struct Evidence {
+    /// The program key (suite name or source path) the evidence is for.
+    pub program: String,
+    /// FNV-1a hash of the source text, pinning what was verified.
+    pub source_hash: u64,
+    /// CEGAR iterations the run took.
+    pub iterations: u64,
+    /// Per-predicate provenance, in discovery order.
+    pub provenance: Vec<ProvenanceRecord>,
+    /// The verdict and its certificate.
+    pub verdict: EvidenceVerdict,
+}
+
+impl Evidence {
+    /// The FNV-1a digest of the complete rendered file — what ledgers and
+    /// batch reports record, pinning the exact certificate bytes.
+    pub fn digest(&self) -> u64 {
+        stable_hash64(&render(self))
+    }
+}
+
+/// Handle to one evidence directory.
+#[derive(Clone, Debug)]
+pub struct EvidenceStore {
+    dir: PathBuf,
+    metrics: Metrics,
+}
+
+impl EvidenceStore {
+    /// A store rooted at `dir` (created on first publish).
+    pub fn new(dir: impl Into<PathBuf>) -> EvidenceStore {
+        EvidenceStore {
+            dir: dir.into(),
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Attaches a metrics registry ([`Counter::ArtifactQuarantine`]).
+    pub fn with_metrics(mut self, metrics: Metrics) -> EvidenceStore {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path for a program key (same slug-plus-full-hash naming as
+    /// the artifact store, different extension).
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        let slug: String = key
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .take(40)
+            .collect();
+        self.dir
+            .join(format!("{slug}-{:016x}.evd", stable_hash64(key)))
+    }
+
+    /// Loads the evidence for `key`. A `None` with `quarantined: false` is a
+    /// clean miss; with `quarantined: true` the file failed an integrity
+    /// check and has been renamed to `<name>.quarantined` (and counted).
+    pub fn load(&self, key: &str) -> io::Result<EvidenceLoad> {
+        let path = self.path_for(key);
+        let miss = EvidenceLoad {
+            evidence: None,
+            quarantined: false,
+        };
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(miss),
+            Err(_) => {
+                self.quarantine(&path);
+                return Ok(EvidenceLoad {
+                    evidence: None,
+                    quarantined: true,
+                });
+            }
+        };
+        match parse_evidence(&bytes) {
+            ParseOutcome::Good(e) => Ok(EvidenceLoad {
+                evidence: Some(*e),
+                quarantined: false,
+            }),
+            ParseOutcome::Stale => {
+                let _ = fs::remove_file(&path);
+                Ok(miss)
+            }
+            ParseOutcome::Corrupt => {
+                self.quarantine(&path);
+                Ok(EvidenceLoad {
+                    evidence: None,
+                    quarantined: true,
+                })
+            }
+        }
+    }
+
+    fn quarantine(&self, path: &Path) {
+        let mut q = path.as_os_str().to_owned();
+        q.push(".quarantined");
+        let _ = fs::rename(path, PathBuf::from(q));
+        self.metrics.incr(Counter::ArtifactQuarantine);
+    }
+
+    /// Publishes `evidence` under `key`, atomically replacing any previous
+    /// evidence for the same key. Returns the path and the file digest.
+    pub fn publish(&self, key: &str, evidence: &Evidence) -> io::Result<(PathBuf, u64)> {
+        let text = render(evidence);
+        fs::create_dir_all(&self.dir)?;
+        let final_path = self.path_for(key);
+        let tmp_path = self
+            .dir
+            .join(format!(".tmp-evd-{:016x}", stable_hash64(key)));
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        Ok((final_path, stable_hash64(&text)))
+    }
+}
+
+/// What [`EvidenceStore::load`] found and did.
+#[derive(Clone, Debug, Default)]
+pub struct EvidenceLoad {
+    /// The decoded evidence, when present and intact.
+    pub evidence: Option<Evidence>,
+    /// `true` when a file existed but failed an integrity check and was
+    /// quarantined.
+    pub quarantined: bool,
+}
+
+/// Parses raw evidence file bytes (as read from disk). Used by the store
+/// and by `homc check` on an explicit file path. `None` means the bytes
+/// failed an integrity or schema check.
+pub fn parse_evidence_bytes(bytes: &[u8]) -> Option<Evidence> {
+    match parse_evidence(bytes) {
+        ParseOutcome::Good(e) => Some(*e),
+        ParseOutcome::Stale | ParseOutcome::Corrupt => None,
+    }
+}
+
+enum ParseOutcome {
+    Good(Box<Evidence>),
+    Stale,
+    Corrupt,
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_str(out: &mut String, s: &str) {
+    out.push_str(&s.len().to_string());
+    out.push(':');
+    out.push_str(s);
+}
+
+fn put_rat(out: &mut String, r: Rat) {
+    out.push_str(&r.num().to_string());
+    out.push(' ');
+    out.push_str(&r.den().to_string());
+}
+
+fn put_refutation(out: &mut String, r: &ArithRefutation) {
+    match r {
+        ArithRefutation::Farkas(cert) => {
+            out.push_str("F ");
+            put_usize(out, cert.len());
+            for (i, c) in cert {
+                out.push(' ');
+                put_usize(out, *i);
+                out.push(' ');
+                put_rat(out, *c);
+            }
+        }
+        ArithRefutation::Gcd(i) => {
+            out.push_str("G ");
+            put_usize(out, *i);
+        }
+        ArithRefutation::Split {
+            var,
+            at,
+            below,
+            above,
+        } => {
+            out.push_str("S ");
+            put_var(out, var);
+            out.push(' ');
+            out.push_str(&at.to_string());
+            out.push(' ');
+            put_refutation(out, below);
+            out.push(' ');
+            put_refutation(out, above);
+        }
+    }
+}
+
+fn put_proof(out: &mut String, p: &UnsatProof) {
+    put_usize(out, p.cubes.len());
+    for cube in &p.cubes {
+        out.push(' ');
+        match cube {
+            CubeProof::BoolConflict => out.push('B'),
+            CubeProof::Arith(r) => {
+                out.push_str("A ");
+                put_refutation(out, r);
+            }
+        }
+    }
+}
+
+fn put_argreq(out: &mut String, a: &ArgReq) {
+    match a {
+        ArgReq::Base(bits) => {
+            out.push_str("b ");
+            put_u64(out, *bits);
+        }
+        ArgReq::Fn(arrows) => {
+            out.push_str("f ");
+            put_usize(out, arrows.len());
+            for arrow in arrows {
+                out.push(' ');
+                put_usize(out, arrow.0.len());
+                for req in &arrow.0 {
+                    out.push(' ');
+                    put_argreq(out, req);
+                }
+            }
+        }
+    }
+}
+
+/// Encodes evidence as one record payload per logical piece: an `H` header,
+/// `P` provenance entries, then either the Safe records (`E` schemes, `R`
+/// rand sites, `G` typings, `B` base-flow facts, `Q` proofs, `X` unproved
+/// count) or the Unsafe records (`W` witness, `L` labels).
+fn encode_evidence(e: &Evidence) -> Vec<String> {
+    let mut out = Vec::new();
+    {
+        let mut s = String::from("H ");
+        put_str(&mut s, &e.program);
+        s.push(' ');
+        put_u64(&mut s, e.source_hash);
+        s.push(' ');
+        put_u64(&mut s, e.iterations);
+        s.push(' ');
+        s.push(match e.verdict {
+            EvidenceVerdict::Safe(_) => 'S',
+            EvidenceVerdict::Unsafe { .. } => 'U',
+        });
+        out.push(s);
+    }
+    for p in &e.provenance {
+        let mut s = String::from("P ");
+        put_u64(&mut s, p.iteration);
+        s.push(' ');
+        put_u64(&mut s, p.cut);
+        s.push(' ');
+        put_str(&mut s, &p.source);
+        s.push(' ');
+        put_str(&mut s, &p.target);
+        s.push(' ');
+        put_str(&mut s, &p.pred);
+        out.push(s);
+    }
+    match &e.verdict {
+        EvidenceVerdict::Safe(safe) => {
+            for (f, scheme) in &safe.env.schemes {
+                let mut s = String::from("E ");
+                put_funname(&mut s, f);
+                s.push(' ');
+                put_usize(&mut s, scheme.len());
+                for (x, t) in scheme {
+                    s.push(' ');
+                    put_var(&mut s, x);
+                    s.push(' ');
+                    put_absty(&mut s, t);
+                }
+                out.push(s);
+            }
+            for (x, preds) in &safe.env.rand_sites {
+                let mut s = String::from("R ");
+                put_var(&mut s, x);
+                s.push(' ');
+                put_usize(&mut s, preds.len());
+                for p in preds {
+                    s.push(' ');
+                    put_predicate(&mut s, p);
+                }
+                out.push(s);
+            }
+            for (f, typings) in &safe.gamma {
+                let mut s = String::from("G ");
+                put_funname(&mut s, f);
+                s.push(' ');
+                put_usize(&mut s, typings.len());
+                for typing in typings {
+                    s.push(' ');
+                    put_usize(&mut s, typing.len());
+                    for req in typing {
+                        s.push(' ');
+                        put_argreq(&mut s, req);
+                    }
+                }
+                out.push(s);
+            }
+            for ((f, idx), seen) in &safe.base_flow {
+                let mut s = String::from("B ");
+                put_funname(&mut s, f);
+                s.push(' ');
+                put_usize(&mut s, *idx);
+                s.push(' ');
+                put_usize(&mut s, seen.len());
+                for bits in seen {
+                    s.push(' ');
+                    put_u64(&mut s, *bits);
+                }
+                out.push(s);
+            }
+            for (f, proof) in &safe.proofs {
+                let mut s = String::from("Q ");
+                put_formula(&mut s, f);
+                s.push(' ');
+                put_proof(&mut s, proof);
+                out.push(s);
+            }
+            {
+                let mut s = String::from("X ");
+                put_u64(&mut s, safe.unproved);
+                out.push(s);
+            }
+        }
+        EvidenceVerdict::Unsafe { witness, path } => {
+            {
+                let mut s = String::from("W ");
+                put_usize(&mut s, witness.len());
+                for w in witness {
+                    s.push(' ');
+                    s.push_str(&w.to_string());
+                }
+                out.push(s);
+            }
+            {
+                let mut s = String::from("L ");
+                put_usize(&mut s, path.len());
+                for l in path {
+                    s.push(' ');
+                    s.push(match l {
+                        Label::Zero => '0',
+                        Label::One => '1',
+                    });
+                }
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+fn render(e: &Evidence) -> String {
+    let mut text = format!("{EVIDENCE_MAGIC} v{EVIDENCE_VERSION}\n");
+    for payload in encode_evidence(e) {
+        text.push_str(&frame_line(&payload));
+    }
+    text
+}
+
+// ---------------------------------------------------------------- decoding
+
+fn get_str(c: &mut Cur<'_>) -> Result<String, CodecError> {
+    Ok(c.var()?.name().to_string())
+}
+
+fn get_rat(c: &mut Cur<'_>) -> Result<Rat, CodecError> {
+    let num = c.int()?;
+    c.sep()?;
+    let den = c.int()?;
+    if den == 0 {
+        return Err(c.err("rational with zero denominator"));
+    }
+    Ok(Rat::new(num, den))
+}
+
+fn get_refutation(c: &mut Cur<'_>, depth: u32) -> Result<ArithRefutation, CodecError> {
+    // Structural recursion bound: a deeper-than-plausible split chain is
+    // rejected here rather than risking decoder stack exhaustion on a
+    // checksum-forging corruption.
+    if depth > 128 {
+        return Err(c.err("refutation nested too deep"));
+    }
+    match c.tok()? {
+        "F" => {
+            c.sep()?;
+            let n = c.count()?;
+            let mut cert = Vec::new();
+            for _ in 0..n {
+                c.sep()?;
+                let i = c.count()?;
+                c.sep()?;
+                cert.push((i, get_rat(c)?));
+            }
+            Ok(ArithRefutation::Farkas(cert))
+        }
+        "G" => {
+            c.sep()?;
+            Ok(ArithRefutation::Gcd(c.count()?))
+        }
+        "S" => {
+            c.sep()?;
+            let var = c.var()?;
+            c.sep()?;
+            let at = c.int()?;
+            c.sep()?;
+            let below = get_refutation(c, depth + 1)?;
+            c.sep()?;
+            let above = get_refutation(c, depth + 1)?;
+            Ok(ArithRefutation::Split {
+                var,
+                at,
+                below: Box::new(below),
+                above: Box::new(above),
+            })
+        }
+        t => Err(c.err(format!("bad refutation tag {t:?}"))),
+    }
+}
+
+fn get_proof(c: &mut Cur<'_>) -> Result<UnsatProof, CodecError> {
+    let n = c.count()?;
+    let mut cubes = Vec::new();
+    for _ in 0..n {
+        c.sep()?;
+        match c.tok()? {
+            "B" => cubes.push(CubeProof::BoolConflict),
+            "A" => {
+                c.sep()?;
+                cubes.push(CubeProof::Arith(get_refutation(c, 0)?));
+            }
+            t => return Err(c.err(format!("bad cube-proof tag {t:?}"))),
+        }
+    }
+    Ok(UnsatProof { cubes })
+}
+
+fn get_argreq(c: &mut Cur<'_>) -> Result<ArgReq, CodecError> {
+    match c.tok()? {
+        "b" => {
+            c.sep()?;
+            Ok(ArgReq::Base(get_u64(c)?))
+        }
+        "f" => {
+            c.sep()?;
+            let n = c.count()?;
+            let mut arrows = BTreeSet::new();
+            for _ in 0..n {
+                c.sep()?;
+                let k = c.count()?;
+                let mut reqs = Vec::new();
+                for _ in 0..k {
+                    c.sep()?;
+                    reqs.push(get_argreq(c)?);
+                }
+                arrows.insert(ArrowTy(reqs));
+            }
+            Ok(ArgReq::Fn(arrows))
+        }
+        t => Err(c.err(format!("bad argument-requirement tag {t:?}"))),
+    }
+}
+
+#[derive(Default)]
+struct Partial {
+    header: Option<(String, u64, u64, char)>,
+    provenance: Vec<ProvenanceRecord>,
+    safe: SafeEvidence,
+    gamma_seen: BTreeSet<FunName>,
+    unproved: Option<u64>,
+    witness: Option<Vec<i64>>,
+    path: Option<Vec<Label>>,
+}
+
+fn decode_into(payload: &str, partial: &mut Partial) -> Result<(), CodecError> {
+    let mut c = Cur::new(payload);
+    match c.tok()? {
+        "H" => {
+            c.sep()?;
+            let program = get_str(&mut c)?;
+            c.sep()?;
+            let source_hash = get_u64(&mut c)?;
+            c.sep()?;
+            let iterations = get_u64(&mut c)?;
+            c.sep()?;
+            let tag = match c.tok()? {
+                "S" => 'S',
+                "U" => 'U',
+                t => return Err(c.err(format!("bad verdict tag {t:?}"))),
+            };
+            c.end()?;
+            if partial
+                .header
+                .replace((program, source_hash, iterations, tag))
+                .is_some()
+            {
+                return Err(c.err("duplicate header record"));
+            }
+        }
+        "P" => {
+            c.sep()?;
+            let iteration = get_u64(&mut c)?;
+            c.sep()?;
+            let cut = get_u64(&mut c)?;
+            c.sep()?;
+            let source = get_str(&mut c)?;
+            c.sep()?;
+            let target = get_str(&mut c)?;
+            c.sep()?;
+            let pred = get_str(&mut c)?;
+            c.end()?;
+            partial.provenance.push(ProvenanceRecord {
+                iteration,
+                target,
+                cut,
+                source,
+                pred,
+            });
+        }
+        "E" => {
+            c.sep()?;
+            let f = get_funname(&mut c)?;
+            c.sep()?;
+            let n = c.count()?;
+            let mut scheme = Vec::new();
+            for _ in 0..n {
+                c.sep()?;
+                let x = c.var()?;
+                c.sep()?;
+                scheme.push((x, get_absty(&mut c)?));
+            }
+            c.end()?;
+            if partial.safe.env.schemes.insert(f, scheme).is_some() {
+                return Err(c.err("duplicate scheme record"));
+            }
+        }
+        "R" => {
+            c.sep()?;
+            let x = c.var()?;
+            c.sep()?;
+            let n = c.count()?;
+            let mut preds = Vec::new();
+            for _ in 0..n {
+                c.sep()?;
+                preds.push(get_predicate(&mut c)?);
+            }
+            c.end()?;
+            if partial.safe.env.rand_sites.insert(x, preds).is_some() {
+                return Err(c.err("duplicate rand-site record"));
+            }
+        }
+        "G" => {
+            c.sep()?;
+            let f = get_funname(&mut c)?;
+            c.sep()?;
+            let n = c.count()?;
+            let mut typings = BTreeSet::new();
+            for _ in 0..n {
+                c.sep()?;
+                let k = c.count()?;
+                let mut typing = Vec::new();
+                for _ in 0..k {
+                    c.sep()?;
+                    typing.push(get_argreq(&mut c)?);
+                }
+                typings.insert(typing);
+            }
+            c.end()?;
+            if !partial.gamma_seen.insert(f.clone()) {
+                return Err(c.err("duplicate typing record"));
+            }
+            partial.safe.gamma.push((f, typings));
+        }
+        "B" => {
+            c.sep()?;
+            let f = get_funname(&mut c)?;
+            c.sep()?;
+            let idx = c.count()?;
+            c.sep()?;
+            let n = c.count()?;
+            let mut seen = BTreeSet::new();
+            for _ in 0..n {
+                c.sep()?;
+                seen.insert(get_u64(&mut c)?);
+            }
+            c.end()?;
+            if partial.safe.base_flow.insert((f, idx), seen).is_some() {
+                return Err(c.err("duplicate base-flow record"));
+            }
+        }
+        "Q" => {
+            c.sep()?;
+            let f = c.formula()?;
+            c.sep()?;
+            let proof = get_proof(&mut c)?;
+            c.end()?;
+            partial.safe.proofs.push((f, proof));
+        }
+        "X" => {
+            c.sep()?;
+            let n = get_u64(&mut c)?;
+            c.end()?;
+            if partial.unproved.replace(n).is_some() {
+                return Err(c.err("duplicate unproved-count record"));
+            }
+        }
+        "W" => {
+            c.sep()?;
+            let n = c.count()?;
+            let mut witness = Vec::new();
+            for _ in 0..n {
+                c.sep()?;
+                let w = c.int()?;
+                witness.push(i64::try_from(w).map_err(|_| c.err("witness out of range"))?);
+            }
+            c.end()?;
+            if partial.witness.replace(witness).is_some() {
+                return Err(c.err("duplicate witness record"));
+            }
+        }
+        "L" => {
+            c.sep()?;
+            let n = c.count()?;
+            let mut path = Vec::new();
+            for _ in 0..n {
+                c.sep()?;
+                path.push(match c.tok()? {
+                    "0" => Label::Zero,
+                    "1" => Label::One,
+                    t => return Err(c.err(format!("bad label {t:?}"))),
+                });
+            }
+            c.end()?;
+            if partial.path.replace(path).is_some() {
+                return Err(c.err("duplicate label-path record"));
+            }
+        }
+        t => return Err(c.err(format!("bad evidence record tag {t:?}"))),
+    }
+    Ok(())
+}
+
+fn parse_evidence(bytes: &[u8]) -> ParseOutcome {
+    let Some(header_end) = bytes.iter().position(|&b| b == b'\n') else {
+        return ParseOutcome::Corrupt;
+    };
+    let Ok(header) = std::str::from_utf8(&bytes[..header_end]) else {
+        return ParseOutcome::Corrupt;
+    };
+    let Some(version) = header
+        .strip_prefix(EVIDENCE_MAGIC)
+        .and_then(|r| r.strip_prefix(" v"))
+    else {
+        return ParseOutcome::Corrupt;
+    };
+    match version.parse::<u32>() {
+        Ok(v) if v == EVIDENCE_VERSION => {}
+        Ok(_) => return ParseOutcome::Stale,
+        Err(_) => return ParseOutcome::Corrupt,
+    }
+    let mut partial = Partial::default();
+    let mut pos = header_end + 1;
+    while pos < bytes.len() {
+        let Some(frame) = parse_frame(&bytes[pos..]) else {
+            return ParseOutcome::Corrupt;
+        };
+        pos += frame.consumed;
+        if stable_hash64(frame.payload) != frame.sum {
+            return ParseOutcome::Corrupt;
+        }
+        if decode_into(frame.payload, &mut partial).is_err() {
+            return ParseOutcome::Corrupt;
+        }
+    }
+    // Structural validation: the record set must match the verdict tag
+    // exactly — Safe carries its unproved count and no counterexample,
+    // Unsafe carries witness + path and no invariant pieces.
+    let Some((program, source_hash, iterations, tag)) = partial.header else {
+        return ParseOutcome::Corrupt;
+    };
+    let has_safe_records = !partial.safe.env.schemes.is_empty()
+        || !partial.safe.env.rand_sites.is_empty()
+        || !partial.safe.gamma.is_empty()
+        || !partial.safe.base_flow.is_empty()
+        || !partial.safe.proofs.is_empty()
+        || partial.unproved.is_some();
+    let verdict = match tag {
+        'S' => {
+            if partial.witness.is_some() || partial.path.is_some() {
+                return ParseOutcome::Corrupt;
+            }
+            let Some(unproved) = partial.unproved else {
+                return ParseOutcome::Corrupt;
+            };
+            let mut safe = partial.safe;
+            safe.unproved = unproved;
+            EvidenceVerdict::Safe(Box::new(safe))
+        }
+        'U' => {
+            if has_safe_records {
+                return ParseOutcome::Corrupt;
+            }
+            let (Some(witness), Some(path)) = (partial.witness, partial.path) else {
+                return ParseOutcome::Corrupt;
+            };
+            EvidenceVerdict::Unsafe { witness, path }
+        }
+        _ => return ParseOutcome::Corrupt,
+    };
+    ParseOutcome::Good(Box::new(Evidence {
+        program,
+        source_hash,
+        iterations,
+        provenance: partial.provenance,
+        verdict,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homc_smt::{Atom, LinExpr, Var};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "homc-evidence-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_safe() -> Evidence {
+        let x = LinExpr::var("x");
+        let contradiction = Formula::and2(
+            Formula::atom(Atom::le(x.clone(), LinExpr::constant(0))),
+            Formula::atom(Atom::ge(x, LinExpr::constant(1))),
+        );
+        let proof = homc_smt::prove_unsat(&contradiction).expect("provable");
+        let mut env = AbsEnv::default();
+        env.schemes.insert(
+            FunName("f".into()),
+            vec![(
+                Var::new("n"),
+                homc_abs::AbsTy::int(vec![homc_abs::Predicate::new(
+                    Var::new("nu"),
+                    Formula::atom(Atom::gt(LinExpr::var("nu"), LinExpr::constant(0))),
+                )]),
+            )],
+        );
+        let gamma = vec![(
+            FunName("f".into()),
+            BTreeSet::from([vec![ArgReq::Base(1), ArgReq::Fn(BTreeSet::from([ArrowTy(
+                vec![ArgReq::Base(0)],
+            )]))]]),
+        )];
+        let base_flow = BTreeMap::from([
+            ((FunName("f".into()), 0), BTreeSet::from([0u64, 1u64])),
+        ]);
+        Evidence {
+            program: "m1".into(),
+            source_hash: 0x1234,
+            iterations: 2,
+            provenance: vec![ProvenanceRecord {
+                iteration: 1,
+                target: "f:n".into(),
+                cut: 0,
+                source: "interp".into(),
+                pred: "λnu.nu > 0".into(),
+            }],
+            verdict: EvidenceVerdict::Safe(Box::new(SafeEvidence {
+                env,
+                gamma,
+                base_flow,
+                proofs: vec![(contradiction.canon(), proof)],
+                unproved: 0,
+            })),
+        }
+    }
+
+    fn sample_unsafe() -> Evidence {
+        Evidence {
+            program: "sum-e".into(),
+            source_hash: 0x9999,
+            iterations: 3,
+            provenance: vec![],
+            verdict: EvidenceVerdict::Unsafe {
+                witness: vec![-7, 0],
+                path: vec![Label::One, Label::Zero, Label::One],
+            },
+        }
+    }
+
+    #[test]
+    fn safe_evidence_roundtrips() {
+        let dir = tmpdir("safe");
+        let store = EvidenceStore::new(&dir);
+        let ev = sample_safe();
+        let (_, digest) = store.publish("m1", &ev).unwrap();
+        assert_eq!(digest, ev.digest());
+        let back = store.load("m1").unwrap().evidence.expect("present");
+        assert_eq!(back.program, ev.program);
+        assert_eq!(back.source_hash, ev.source_hash);
+        assert_eq!(back.iterations, ev.iterations);
+        assert_eq!(back.provenance, ev.provenance);
+        let (EvidenceVerdict::Safe(a), EvidenceVerdict::Safe(b)) = (&back.verdict, &ev.verdict)
+        else {
+            panic!("verdict kind changed");
+        };
+        assert_eq!(a.env.schemes, b.env.schemes);
+        assert_eq!(a.gamma, b.gamma);
+        assert_eq!(a.base_flow, b.base_flow);
+        assert_eq!(a.proofs, b.proofs);
+        assert_eq!(a.unproved, b.unproved);
+        assert_eq!(back.digest(), ev.digest());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsafe_evidence_roundtrips() {
+        let dir = tmpdir("unsafe");
+        let store = EvidenceStore::new(&dir);
+        let ev = sample_unsafe();
+        store.publish("sum-e", &ev).unwrap();
+        let back = store.load("sum-e").unwrap().evidence.expect("present");
+        let EvidenceVerdict::Unsafe { witness, path } = &back.verdict else {
+            panic!("verdict kind changed");
+        };
+        assert_eq!(witness, &vec![-7, 0]);
+        assert_eq!(path, &vec![Label::One, Label::Zero, Label::One]);
+        assert_eq!(back.digest(), ev.digest());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn any_byte_flip_quarantines_whole_file() {
+        let dir = tmpdir("byteflip");
+        let metrics = Metrics::new(true);
+        let store = EvidenceStore::new(&dir).with_metrics(metrics.clone());
+        let (path, _) = store.publish("m1", &sample_safe()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let off = bytes.len() / 2;
+        bytes[off] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let load = store.load("m1").unwrap();
+        assert!(load.evidence.is_none());
+        assert!(load.quarantined);
+        assert!(!path.exists());
+        assert_eq!(metrics.snapshot().counter(Counter::ArtifactQuarantine), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verdict_tag_and_records_must_agree() {
+        // Splicing the Unsafe witness records into a Safe file (frames
+        // themselves re-checksummed, i.e. a "valid-looking" forgery) is a
+        // structural mismatch, hence corrupt.
+        let safe = render(&sample_safe());
+        let unsafe_ev = render(&sample_unsafe());
+        let mut lines: Vec<&str> = safe.lines().collect();
+        let extra: Vec<&str> = unsafe_ev
+            .lines()
+            .filter(|l| {
+                parse_frame(format!("{l}\n").as_bytes())
+                    .is_some_and(|f| f.payload.starts_with("W "))
+            })
+            .collect();
+        lines.extend(extra);
+        let forged = format!("{}\n", lines.join("\n"));
+        assert!(parse_evidence_bytes(forged.as_bytes()).is_none());
+    }
+
+    #[test]
+    fn version_mismatch_cold_starts_without_quarantine() {
+        let dir = tmpdir("stale");
+        fs::create_dir_all(&dir).unwrap();
+        let metrics = Metrics::new(true);
+        let store = EvidenceStore::new(&dir).with_metrics(metrics.clone());
+        fs::write(store.path_for("k"), "homc-evidence v999\n").unwrap();
+        let load = store.load("k").unwrap();
+        assert!(load.evidence.is_none());
+        assert!(!load.quarantined);
+        assert!(!store.path_for("k").exists());
+        assert_eq!(metrics.snapshot().counter(Counter::ArtifactQuarantine), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digest_pins_content() {
+        let a = sample_safe();
+        let mut b = a.clone();
+        b.iterations += 1;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = a.clone();
+        let EvidenceVerdict::Safe(safe) = &mut c.verdict else {
+            unreachable!()
+        };
+        safe.proofs.clear();
+        assert_ne!(a.digest(), c.digest());
+    }
+}

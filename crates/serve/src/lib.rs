@@ -35,6 +35,7 @@
 pub mod artifact;
 pub mod codec;
 pub mod disk;
+pub mod evidence;
 pub mod ledger;
 pub mod pool;
 pub mod trend;
@@ -42,6 +43,10 @@ pub mod trend;
 pub use artifact::{Artifact, ArtifactLoad, ArtifactStore, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use codec::{decode_record, encode_check, encode_cube, CodecError, Record};
 pub use disk::{seed_cache, DiskCache, DiskFault, LoadReport, PublishReport, MAGIC, VERSION};
+pub use evidence::{
+    parse_evidence_bytes, Evidence, EvidenceLoad, EvidenceStore, EvidenceVerdict,
+    ProvenanceRecord, SafeEvidence, EVIDENCE_MAGIC, EVIDENCE_VERSION,
+};
 pub use homc_budget::CancelToken;
 pub use ledger::{
     AppendReport, Ledger, LedgerLoad, RunRecord, LEDGER_MAGIC, LEDGER_VERSION, RECORD_SCHEMA,

@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::cache::{CachedRat, QueryCache};
 use crate::linexpr::{Atom, Rel, Var};
-use crate::rat::Rat;
+use crate::rat::{gcd, Rat};
 
 /// One Farkas multiplier: `(index of the original atom, coefficient)`.
 ///
@@ -425,23 +425,74 @@ pub fn int_sat_cached(atoms: &[Atom], max_depth: u32, cache: Option<&QueryCache>
 
 /// Validates a Farkas certificate against the original atoms: the weighted sum
 /// must cancel every variable and leave a positive constant.
-pub fn check_certificate(atoms: &[Atom], cert: &FarkasCert) -> bool {
-    let mut coeffs: BTreeMap<Var, Rat> = BTreeMap::new();
+///
+/// Generic over owned or borrowed atom slices so the proof checker can run
+/// on references into a shared literal table without cloning.
+pub fn check_certificate<A: std::borrow::Borrow<Atom>>(atoms: &[A], cert: &FarkasCert) -> bool {
+    // The proof checker calls this once per DNF cube — 100k+ times on
+    // certificate-heavy programs — so the hot path scales every weight by
+    // the LCM of their denominators and sums in plain `i128` (scaling by a
+    // positive constant preserves both the cancellation and the sign of
+    // the certificate). Overflow falls back to exact rationals.
+    check_certificate_int(atoms, cert)
+        .unwrap_or_else(|| check_certificate_rat(atoms, cert))
+}
+
+/// Integer fast path of [`check_certificate`]: `None` means an `i128`
+/// overflow, not a verdict — retry with exact rationals.
+fn check_certificate_int<A: std::borrow::Borrow<Atom>>(
+    atoms: &[A],
+    cert: &FarkasCert,
+) -> Option<bool> {
+    let mut scale: i128 = 1;
+    for (_, l) in cert {
+        let d = l.den();
+        scale = scale.checked_mul(d / gcd(scale, d).max(1))?;
+    }
+    // Certificates mention a handful of variables: a linear scan over a
+    // small vector beats a map and its per-entry allocations at that scale.
+    let mut coeffs: Vec<(&Var, i128)> = Vec::new();
+    let mut cst: i128 = 0;
+    for (i, l) in cert {
+        let Some(a) = atoms.get(*i).map(|a| a.borrow()) else {
+            return Some(false);
+        };
+        if a.rel() == Rel::Le && l.signum() < 0 {
+            return Some(false);
+        }
+        let w = l.num().checked_mul(scale / l.den())?;
+        for (v, c) in a.lhs().iter() {
+            let wc = c.checked_mul(w)?;
+            match coeffs.iter_mut().find(|(u, _)| *u == v) {
+                Some((_, e)) => *e = e.checked_add(wc)?,
+                None => coeffs.push((v, wc)),
+            }
+        }
+        cst = cst.checked_add(a.lhs().constant_part().checked_mul(w)?)?;
+    }
+    Some(coeffs.iter().all(|(_, c)| *c == 0) && cst > 0)
+}
+
+/// Exact-rational slow path of [`check_certificate`].
+fn check_certificate_rat<A: std::borrow::Borrow<Atom>>(atoms: &[A], cert: &FarkasCert) -> bool {
+    let mut coeffs: Vec<(&Var, Rat)> = Vec::new();
     let mut cst = Rat::ZERO;
     for (i, l) in cert {
-        let Some(a) = atoms.get(*i) else {
+        let Some(a) = atoms.get(*i).map(|a| a.borrow()) else {
             return false;
         };
         if a.rel() == Rel::Le && l.signum() < 0 {
             return false;
         }
         for (v, c) in a.lhs().iter() {
-            let e = coeffs.entry(v.clone()).or_insert(Rat::ZERO);
-            *e = *e + Rat::int(c) * *l;
+            match coeffs.iter_mut().find(|(w, _)| *w == v) {
+                Some((_, e)) => *e = *e + Rat::int(c) * *l,
+                None => coeffs.push((v, Rat::int(c) * *l)),
+            }
         }
         cst = cst + Rat::int(a.lhs().constant_part()) * *l;
     }
-    coeffs.values().all(|c| c.is_zero()) && cst.signum() > 0
+    coeffs.iter().all(|(_, c)| c.is_zero()) && cst.signum() > 0
 }
 
 #[cfg(test)]

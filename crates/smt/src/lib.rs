@@ -43,6 +43,7 @@ mod fm;
 mod formula;
 mod interp;
 mod linexpr;
+mod proof;
 mod rat;
 mod solver;
 
@@ -51,7 +52,7 @@ pub use fm::{
     check_certificate, int_sat, rational_sat, rational_sat_cached, FarkasCert, IntResult,
     RatResult,
 };
-pub use formula::{Formula, Literal};
+pub use formula::{DnfIndexed, Formula, Literal};
 pub use homc_budget::{Budget, BudgetError, CancelToken, FaultKind, FaultPlan, LimitKind, Phase};
 pub use interp::{
     cube_consistency, cube_literals, interpolate, interpolate_budgeted,
@@ -59,5 +60,8 @@ pub use interp::{
     InterpError, InterpOptions,
 };
 pub use linexpr::{Atom, LinExpr, Rel, Var};
+pub use proof::{
+    prove_unsat, verify_unsat, ArithRefutation, CubeProof, UnsatProof, PROOF_DNF_LIMIT,
+};
 pub use rat::{gcd, Rat};
 pub use solver::{Model, SatResult, SmtSolver, SolverLimits, SolverOutcome};

@@ -27,8 +27,15 @@ run cargo test -q "${CARGO_FLAGS[@]}"
 
 # End-to-end degradation check: with a 1-second per-program deadline the
 # whole 28-program suite must terminate with a tally and exit 0 (unknown
-# under budget is an outcome, not a failure).
-run cargo run --release --offline --bin homc -- --suite --timeout 1
+# under budget is an outcome, not a failure). The run also exports a
+# verdict certificate per decided program; `homc check` then re-validates
+# every exported certificate independently of the CEGAR/SMT hot path
+# (programs that stayed undecided export nothing and are tolerated in
+# whole-suite mode).
+EVD_DIR=target/evidence-smoke
+rm -rf "$EVD_DIR"
+run cargo run --release --offline --bin homc -- --suite --timeout 1 --evidence-dir "$EVD_DIR"
+run cargo run --release --offline --bin homc -- check --suite --evidence-dir "$EVD_DIR"
 
 # Trace smoke: one traced suite run must produce a schema-valid JSONL
 # trace (validated by the in-tree validator — no jq) and the report
@@ -141,6 +148,22 @@ if [ "$(incr_verdict "$INCR_COLD")" != "$(incr_verdict "$INCR_WARM")" ]; then
     exit 1
 fi
 
+# Explain smoke: the evidence layer on one safe and one unsafe program,
+# named explicitly so a missing certificate is a hard failure. Each
+# program verifies with an evidence export, `homc check` re-establishes
+# the verdict from the certificate alone, and `homc explain` renders the
+# run narrative — which must be byte-deterministic across two runs.
+EXPLAIN_A=target/explain-a.txt
+EXPLAIN_B=target/explain-b.txt
+run cargo run --release --offline --bin homc -- --suite intro1 --evidence-dir "$EVD_DIR"
+run cargo run --release --offline --bin homc -- --suite sum-e --evidence-dir "$EVD_DIR"
+run cargo run --release --offline --bin homc -- check --suite intro1 --evidence-dir "$EVD_DIR"
+run cargo run --release --offline --bin homc -- check --suite sum-e --evidence-dir "$EVD_DIR"
+run cargo run --release --offline --bin homc -- explain --suite intro1 | tee "$EXPLAIN_A" >/dev/null
+run cargo run --release --offline --bin homc -- explain --suite intro1 | tee "$EXPLAIN_B" >/dev/null
+run cmp "$EXPLAIN_A" "$EXPLAIN_B"
+run cargo run --release --offline --bin homc -- explain --suite sum-e >/dev/null
+
 # Ledger smoke: the fleet-observability loop end to end. Two batch runs
 # append checksummed records to a scratch ledger; `homc history` must
 # render a per-program trend over both runs; `homc regress` must gate the
@@ -220,7 +243,7 @@ fi
 OLD_SCHEMA=$(bench_schema BENCH_table1.json)
 NEW_SCHEMA=$(bench_schema "$BENCH_SCRATCH")
 if [ "${OLD_SCHEMA:-none}" != "$NEW_SCHEMA" ]; then
-    echo "tier1: BENCH_table1.json has schema ${OLD_SCHEMA:-none} but this build writes schema $NEW_SCHEMA — stale baseline (schema 5 added the cross-run incremental column)." >&2
+    echo "tier1: BENCH_table1.json has schema ${OLD_SCHEMA:-none} but this build writes schema $NEW_SCHEMA — stale baseline (schema 6 added the evidence-checker column)." >&2
     bench_regen_hint
     exit 1
 fi

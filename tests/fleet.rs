@@ -103,7 +103,7 @@ fn batch_json_is_stable_and_schema_versioned() {
     let doc = run_ok(homc().args(args));
     let v = parse_json(doc.trim()).expect("stdout is one JSON document");
     let meta = v.get("meta").expect("meta");
-    assert_eq!(meta.get("schema").and_then(JsonValue::as_num), Some(1));
+    assert_eq!(meta.get("schema").and_then(JsonValue::as_num), Some(2));
     assert_eq!(
         meta.get("clock").and_then(JsonValue::as_str),
         Some("logical")
